@@ -1,0 +1,241 @@
+package pubtac_test
+
+// Benchmark harness: one benchmark per table/figure of the paper (see
+// DESIGN.md's per-experiment index), plus ablation benchmarks for the
+// design decisions DESIGN.md calls out. Experiment benchmarks run
+// scaled-down campaigns (the Scale constant below); use cmd/tables and
+// cmd/figures with -scale for larger reproductions.
+
+import (
+	"testing"
+
+	"pubtac"
+	"pubtac/internal/cache"
+	"pubtac/internal/evt"
+	"pubtac/internal/experiment"
+	"pubtac/internal/malardalen"
+	"pubtac/internal/mbpta"
+	"pubtac/internal/proc"
+	"pubtac/internal/pub"
+	"pubtac/internal/tac"
+	"pubtac/internal/trace"
+)
+
+// benchScale keeps experiment regeneration tractable inside `go test
+// -bench`; EXPERIMENTS.md records results at larger scales.
+const benchScale = 0.002
+
+func benchOpts() experiment.Options { return experiment.Options{Scale: benchScale} }
+
+// BenchmarkTable1 regenerates Table 1 (bs execution-time domain).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Table1(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2 (runs for MBPTA, PUB, PUB+TAC).
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Table2(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates Figure 1(a) (pWCET vs pETd).
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Figure1(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates Figure 2 (bs original vs pubbed ECCDFs).
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Figure2(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4 (bs v9, Rpub vs Rp+t).
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Figure4(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates Figure 5 (pWCET of PUB and PUB+TAC relative
+// to plain MBPTA).
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Figure5(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSection31 recomputes the Section 3.1 worked examples (pure TAC
+// analysis, no campaigns).
+func BenchmarkSection31(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.Section31()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.RPub311 != 84873 || r.RPub312 != 14137 {
+			b.Fatalf("unexpected results: %+v", r)
+		}
+	}
+}
+
+// --- Component benchmarks --------------------------------------------
+
+// BenchmarkPUBTransform measures the PUB pass over all 11 benchmarks.
+func BenchmarkPUBTransform(b *testing.B) {
+	bms := malardalen.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, bm := range bms {
+			if _, _, err := pub.Transform(bm.Program); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTACAnalyze measures TAC on the pubbed bs trace.
+func BenchmarkTACAnalyze(b *testing.B) {
+	bm := malardalen.BS()
+	pubbed, _, err := pub.Transform(bm.Program)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := pubbed.MustExec(bm.Default()).Trace
+	model := proc.DefaultModel()
+	cfg := tac.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tac.Analyze(tr, model, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaign1k measures a 1000-run campaign of the pubbed bs path.
+func BenchmarkCampaign1k(b *testing.B) {
+	bm := malardalen.BS()
+	pubbed, _, err := pub.Transform(bm.Program)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := pubbed.MustExec(bm.Default()).Trace
+	model := proc.DefaultModel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mbpta.Collect(tr, model, 1000, uint64(i), 0)
+	}
+}
+
+// BenchmarkExecTrace measures raw trace generation for the largest
+// benchmark (matmult).
+func BenchmarkExecTrace(b *testing.B) {
+	bm := malardalen.MatMult()
+	in := bm.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bm.Program.MustExec(in)
+	}
+}
+
+// --- Ablation benchmarks (design decisions in DESIGN.md §5) -----------
+
+// BenchmarkAblationPlacementHash compares the keyed-hash random placement
+// against modulo placement on the same trace (cost of randomization).
+func BenchmarkAblationPlacementHash(b *testing.B) {
+	tr := trace.Repeat(trace.FromLetters("ABCDEFGH", 32), 200)
+	for _, pc := range []struct {
+		name string
+		p    cache.PlacementPolicy
+	}{{"random", cache.RandomPlacement}, {"modulo", cache.ModuloPlacement}} {
+		pc := pc
+		b.Run(pc.name, func(b *testing.B) {
+			cfg := cache.DefaultL1()
+			cfg.Placement = pc.p
+			c := cache.New(cfg, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, a := range tr {
+					c.Access(a.Addr)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTailFit compares the exponential-tail (MBPTA-CV) fit
+// with the Gumbel block-maxima fit on the same campaign.
+func BenchmarkAblationTailFit(b *testing.B) {
+	bm := malardalen.CNT()
+	tr := bm.Program.MustExec(bm.Default()).Trace
+	sample := mbpta.Collect(tr, proc.DefaultModel(), 4000, 9, 0)
+	b.Run("exptail-cv", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := evt.FitExpTailAuto(sample, 10, len(sample)/5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("gumbel-bm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := evt.FitGumbel(sample, 50); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationMissJitter measures the cost of the optional randomized
+// bus-jitter term in the timing model.
+func BenchmarkAblationMissJitter(b *testing.B) {
+	bm := malardalen.BS()
+	tr := bm.Program.MustExec(bm.Default()).Trace
+	for _, jc := range []struct {
+		name   string
+		jitter uint64
+	}{{"off", 0}, {"on", 4}} {
+		jc := jc
+		b.Run(jc.name, func(b *testing.B) {
+			m := proc.DefaultModel()
+			m.Lat.MissJitter = jc.jitter
+			e := proc.NewEngine(m)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Run(tr, uint64(i))
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSCSFallback measures the SCS merge on wide branches
+// (the DP is quadratic; the transform falls back to concatenation beyond a
+// size bound).
+func BenchmarkAblationSCSFallback(b *testing.B) {
+	bm, err := pubtac.Benchmark("crc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := pubtac.Transform(bm.Program); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

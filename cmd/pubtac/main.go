@@ -1,0 +1,100 @@
+// Command pubtac runs the full PUB+TAC analysis pipeline (Figure 3 of the
+// paper) on one benchmark and input vector, printing the run requirements,
+// TAC conflict classes and the resulting pWCET curve.
+//
+// Usage:
+//
+//	pubtac -bench bs -input v9 -scale 0.1
+//	pubtac -bench crc -multipath
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"pubtac/internal/core"
+	"pubtac/internal/experiment"
+	"pubtac/internal/malardalen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pubtac: ")
+	var (
+		benchName = flag.String("bench", "bs", "benchmark name (bs, cnt, fir, janne, crc, edn, insertsort, jfdctint, matmult, fdct, ns)")
+		inputName = flag.String("input", "", "input vector name (default: benchmark default)")
+		scale     = flag.Float64("scale", 0.05, "campaign scale (1.0 = paper-size)")
+		multipath = flag.Bool("multipath", false, "analyze all available input vectors and take the Corollary-2 minimum")
+		workers   = flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	b, err := malardalen.Get(*benchName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in := b.Default()
+	if *inputName != "" {
+		if in, err = b.Input(*inputName); err != nil {
+			log.Fatal(err)
+		}
+	}
+	opts := experiment.Options{Scale: *scale, Workers: *workers}
+	a := core.New(opts.AnalyzerConfig())
+
+	if *multipath {
+		m, err := a.AnalyzeMultiPath(b.Program, b.Inputs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("benchmark %s: %d pubbed paths analyzed (Corollary 2)\n", b.Name, len(m.Paths))
+		for _, pa := range m.Paths {
+			fmt.Printf("  %-10s Rpub=%-7d Rtac=%-7d R=%-7d pWCET@1e-12=%.0f\n",
+				pa.Input.Name, pa.RPub, pa.RTac, pa.R, pa.PWCET(1e-12))
+		}
+		fmt.Printf("pWCET@1e-12 (min across paths) = %.0f cycles (path %s)\n",
+			m.PWCET(1e-12), m.Best(1e-12).Input.Name)
+		return
+	}
+
+	pa, err := a.AnalyzePath(b.Program, in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printPath(pa)
+}
+
+func printPath(pa *core.PathAnalysis) {
+	fmt.Printf("benchmark      %s (input %s)\n", pa.Program, pa.Input.Name)
+	fmt.Printf("PUB            %d constructs balanced, %d accesses inserted, code x%.2f\n",
+		pa.PubReport.Constructs, pa.PubReport.InsertedAccesses, pa.PubReport.CodeGrowth())
+	fmt.Printf("TAC            %d conflict groups in %d classes, baseline mean %.0f cycles\n",
+		len(pa.TAC.Groups), len(pa.TAC.Classes), pa.TAC.BaselineMean)
+	for i, c := range pa.TAC.Classes {
+		fmt.Printf("  class %d: impact %.0f cycles, p=%.3g (%d groups) -> R=%d\n",
+			i+1, c.Impact, c.Prob, c.Groups, c.Runs)
+	}
+	fmt.Printf("runs           Rpub=%d  Rtac=%d  R=%d (simulated %d)\n",
+		pa.RPub, pa.RTac, pa.R, pa.RunsUsed)
+	iid := pa.Full.IID
+	fmt.Printf("diagnostics    runs-test p=%.3f  ljung-box p=%.3f  ks p=%.3f  CV=%.3f\n",
+		iid.Runs.PValue, iid.LjungBox.PValue, iid.Identical.PValue, pa.Full.CV.CV)
+	fmt.Println("pWCET curve (PUB+TAC):")
+	for _, e := range []float64{3, 6, 9, 12} {
+		p := math.Pow(10, -e)
+		fmt.Printf("  @1e-%-3.0f %10.0f cycles\n", e, pa.Full.PWCET(p))
+	}
+	if pa.RTac > pa.RPub {
+		fmt.Printf("note: TAC demands %dx more runs than plain MBPTA convergence\n",
+			pa.RTac/maxInt(pa.RPub, 1))
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,100 @@
+// Command tracedump inspects the address traces of a benchmark: lengths,
+// path signatures, per-cache line statistics, and the effect of PUB —
+// useful for understanding what TAC sees.
+//
+// Usage:
+//
+//	tracedump -bench bs -input v9 -pub
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"pubtac/internal/malardalen"
+	"pubtac/internal/proc"
+	"pubtac/internal/pub"
+	"pubtac/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracedump: ")
+	var (
+		benchName = flag.String("bench", "bs", "benchmark name")
+		inputName = flag.String("input", "", "input vector (default: benchmark default)")
+		usePub    = flag.Bool("pub", false, "dump the pubbed program instead of the original")
+		head      = flag.Int("head", 16, "accesses to print from the start of the trace")
+	)
+	flag.Parse()
+
+	b, err := malardalen.Get(*benchName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in := b.Default()
+	if *inputName != "" {
+		if in, err = b.Input(*inputName); err != nil {
+			log.Fatal(err)
+		}
+	}
+	p := b.Program
+	if *usePub {
+		q, rep, err := pub.Transform(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p = q
+		fmt.Printf("PUB: %d constructs, +%d accesses, +%d instructions, code x%.2f\n",
+			rep.Constructs, rep.InsertedAccesses, rep.InsertedInstrs, rep.CodeGrowth())
+	}
+	res, err := p.Exec(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	instr := res.Trace.Filter(trace.Instr)
+	data := res.Trace.Filter(trace.Data)
+	fmt.Printf("program  %s  input %s\n", p.Name, in.Name)
+	fmt.Printf("trace    %d accesses (%d instruction, %d data)\n",
+		len(res.Trace), len(instr), len(data))
+	if len(res.Path) > 120 {
+		fmt.Printf("path     %.117s...\n", res.Path)
+	} else {
+		fmt.Printf("path     %s\n", res.Path)
+	}
+
+	model := proc.DefaultModel()
+	lineStats("IL1", instr, model.IL1.LineBytes)
+	lineStats("DL1", data, model.DL1.LineBytes)
+
+	fmt.Printf("first %d accesses:\n", *head)
+	for i, a := range res.Trace {
+		if i == *head {
+			break
+		}
+		fmt.Printf("  %3d  %s %#08x\n", i, a.Kind, a.Addr)
+	}
+}
+
+func lineStats(name string, tr trace.Trace, lineBytes int) {
+	counts := tr.Lines(lineBytes).Counts()
+	type lc struct {
+		line uint64
+		n    int
+	}
+	var ls []lc
+	for l, n := range counts {
+		ls = append(ls, lc{l, n})
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i].n > ls[j].n })
+	fmt.Printf("%s      %d distinct lines; hottest:", name, len(ls))
+	for i, e := range ls {
+		if i == 6 {
+			break
+		}
+		fmt.Printf(" %#x(%d)", e.line*uint64(lineBytes), e.n)
+	}
+	fmt.Println()
+}

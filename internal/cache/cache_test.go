@@ -1,0 +1,300 @@
+package cache
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pubtac/internal/rng"
+	"pubtac/internal/trace"
+)
+
+func lruCache(sets, ways int) *Cache {
+	return New(Config{Sets: sets, Ways: ways, LineBytes: 32,
+		Placement: ModuloPlacement, Replacement: LRUReplacement}, 1)
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"default", DefaultL1(), true},
+		{"zero", Config{}, false},
+		{"non-pow2 sets", Config{Sets: 3, Ways: 2, LineBytes: 32}, false},
+		{"zero ways", Config{Sets: 4, Ways: 0, LineBytes: 32}, false},
+		{"non-pow2 line", Config{Sets: 4, Ways: 2, LineBytes: 33}, false},
+		{"direct mapped", Config{Sets: 8, Ways: 1, LineBytes: 16}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.cfg.Validate(); (err == nil) != c.ok {
+				t.Fatalf("Validate() = %v, ok=%v", err, c.ok)
+			}
+		})
+	}
+}
+
+func TestDefaultL1Geometry(t *testing.T) {
+	cfg := DefaultL1()
+	if cfg.SizeBytes() != 4096 {
+		t.Fatalf("size = %d, want 4096 (4KB)", cfg.SizeBytes())
+	}
+	if cfg.Sets != 64 || cfg.Ways != 2 || cfg.LineBytes != 32 {
+		t.Fatalf("geometry = %+v", cfg)
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := New(DefaultL1(), 42)
+	if c.Access(0x100) {
+		t.Fatal("first access must miss (cold)")
+	}
+	if !c.Access(0x100) {
+		t.Fatal("second access must hit")
+	}
+	if !c.Access(0x11F) {
+		t.Fatal("same-line access must hit")
+	}
+	if c.Access(0x120) {
+		t.Fatal("next-line access must miss")
+	}
+	if c.Hits() != 2 || c.Misses() != 2 || c.Accesses() != 4 {
+		t.Fatalf("counters: hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := New(DefaultL1(), 42)
+	c.Access(0x100)
+	c.Flush()
+	if c.Access(0x100) {
+		t.Fatal("access after flush must miss")
+	}
+	c.Flush()
+	if c.Hits() != 0 || c.Misses() != 0 {
+		t.Fatal("flush must reset counters")
+	}
+}
+
+func TestLRUSection2Example(t *testing.T) {
+	// Paper, Section 2: in a 2-way LRU cache {ABCA} misses 4 times whereas
+	// {ABACA} misses only 3 — inserting an access can reduce misses, which
+	// is why PUB is incompatible with time-deterministic caches.
+	// Use a single-set cache so A, B, C all contend for the same 2 ways.
+	run := func(s string) uint64 {
+		c := lruCache(1, 2)
+		for _, a := range trace.FromLetters(s, 32) {
+			c.Access(a.Addr)
+		}
+		return c.Misses()
+	}
+	if m := run("ABCA"); m != 4 {
+		t.Fatalf("{ABCA} misses = %d, want 4", m)
+	}
+	if m := run("ABACA"); m != 3 {
+		t.Fatalf("{ABACA} misses = %d, want 3", m)
+	}
+}
+
+func TestLRUEvictsLeastRecent(t *testing.T) {
+	c := lruCache(1, 2)
+	c.Access(0 * 32) // A miss
+	c.Access(1 * 32) // B miss
+	c.Access(0 * 32) // A hit (B is now LRU)
+	c.Access(2 * 32) // C miss, evicts B
+	if !c.Access(0 * 32) {
+		t.Fatal("A must still be cached")
+	}
+	if c.Access(1 * 32) {
+		t.Fatal("B must have been evicted")
+	}
+}
+
+func TestModuloPlacement(t *testing.T) {
+	c := lruCache(8, 2)
+	for line := uint64(0); line < 32; line++ {
+		if got, want := c.SetOf(line), int(line%8); got != want {
+			t.Fatalf("SetOf(%d) = %d, want %d", line, got, want)
+		}
+	}
+}
+
+func TestRandomPlacementUniform(t *testing.T) {
+	// Over many reseeds, a fixed line must land in each of S sets about
+	// equally often: chi-square over 64 sets.
+	cfg := DefaultL1()
+	const trials = 64 * 2000
+	counts := make([]int, cfg.Sets)
+	c := New(cfg, 0)
+	for i := 0; i < trials; i++ {
+		c.Reseed(rng.Stream(99, i))
+		counts[c.SetOf(0x1234)]++
+	}
+	expected := float64(trials) / float64(cfg.Sets)
+	var chi2 float64
+	for _, n := range counts {
+		d := float64(n) - expected
+		chi2 += d * d / expected
+	}
+	// df=63; p=0.001 critical value ~103.4.
+	if chi2 > 110 {
+		t.Fatalf("chi2 = %.1f: placement not uniform across seeds", chi2)
+	}
+}
+
+func TestRandomPlacementStableWithinRun(t *testing.T) {
+	c := New(DefaultL1(), 7)
+	s1 := c.SetOf(0x40)
+	for i := 0; i < 100; i++ {
+		if c.SetOf(0x40) != s1 {
+			t.Fatal("placement must be stable within a run")
+		}
+	}
+	c.Reseed(8)
+	// Not required to differ, but across many reseeds it must not be
+	// constant.
+	changed := false
+	for i := 0; i < 100; i++ {
+		c.Reseed(uint64(i))
+		if c.SetOf(0x40) != s1 {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("placement never changes across reseeds")
+	}
+}
+
+func TestCollisionProbabilityMatchesAnalytic(t *testing.T) {
+	// TAC's model: k specific lines land in one set with prob (1/S)^(k-1).
+	// Check k=2 on an 8-set cache: expect ~1/8 over many seeds.
+	cfg := Config{Sets: 8, Ways: 4, LineBytes: 32}
+	c := New(cfg, 0)
+	const trials = 40000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		c.Reseed(rng.Stream(5, i))
+		if c.SetOf(10) == c.SetOf(20) {
+			hits++
+		}
+	}
+	p := float64(hits) / trials
+	if math.Abs(p-0.125) > 0.01 {
+		t.Fatalf("pairwise collision prob = %.4f, want ~0.125", p)
+	}
+}
+
+func TestPinForcesPlacement(t *testing.T) {
+	c := New(DefaultL1(), 3)
+	pin := &Pin{Lines: map[uint64]bool{10: true, 20: true, 30: true}, Set: 5}
+	c.SetPin(pin)
+	for _, line := range []uint64{10, 20, 30} {
+		if c.SetOf(line) != 5 {
+			t.Fatalf("pinned line %d mapped to set %d", line, c.SetOf(line))
+		}
+	}
+	// Unpinned lines follow the hash; over reseeds they are not constant.
+	c.SetPin(nil)
+	if c.SetOf(10) == 5 && c.SetOf(20) == 5 && c.SetOf(30) == 5 {
+		// Possible but astronomically unlikely to be all 5 by chance with
+		// the fixed seed used here; treat as pin leak.
+		t.Fatal("pin not cleared")
+	}
+}
+
+func TestPinnedOverflowThrashing(t *testing.T) {
+	// Three lines pinned into one set of a 2-way cache, accessed round-robin
+	// with LRU: every access misses (the classic pathological layout TAC
+	// looks for).
+	cfg := Config{Sets: 64, Ways: 2, LineBytes: 32,
+		Placement: ModuloPlacement, Replacement: LRUReplacement}
+	c := New(cfg, 1)
+	c.SetPin(&Pin{Lines: map[uint64]bool{100: true, 200: true, 300: true}, Set: 0})
+	for i := 0; i < 30; i++ {
+		for _, line := range []uint64{100, 200, 300} {
+			c.AccessLine(line)
+		}
+	}
+	if c.Hits() != 0 {
+		t.Fatalf("expected pure thrashing, got %d hits", c.Hits())
+	}
+}
+
+func TestRandomReplacementEventuallyFits(t *testing.T) {
+	// The paper (Section 3.1.1): with random replacement, k <= W addresses
+	// mapped to one set "end up fitting in a cache set after, potentially,
+	// few random replacements". Pin A,B into a 2-way set alongside nothing
+	// else: after warmup, all accesses hit.
+	cfg := Config{Sets: 8, Ways: 2, LineBytes: 32}
+	c := New(cfg, 9)
+	c.SetPin(&Pin{Lines: map[uint64]bool{1: true, 2: true}, Set: 3})
+	for i := 0; i < 10; i++ {
+		c.AccessLine(1)
+		c.AccessLine(2)
+	}
+	c.AccessLine(1)
+	c.AccessLine(2)
+	// The last two accesses must both hit (steady state).
+	if c.Hits() < 2 {
+		t.Fatal("two lines in a 2-way set must reach steady-state hits")
+	}
+}
+
+func TestVictimSelectionWithinWays(t *testing.T) {
+	// Random replacement must keep exactly Ways lines per set valid.
+	cfg := Config{Sets: 1, Ways: 4, LineBytes: 32}
+	c := New(cfg, 11)
+	for line := uint64(0); line < 100; line++ {
+		c.AccessLine(line)
+	}
+	// Count how many of the last 100 lines are resident: at most 4.
+	resident := 0
+	for line := uint64(0); line < 100; line++ {
+		h := c.Hits()
+		c.AccessLine(line)
+		if c.Hits() > h {
+			resident++
+		}
+	}
+	if resident > 8 { // touching updates contents; generous bound
+		t.Fatalf("more lines resident (%d) than plausible for 4 ways", resident)
+	}
+}
+
+func TestReseedDeterminism(t *testing.T) {
+	f := func(seed uint64, lineRaw uint16) bool {
+		line := uint64(lineRaw)
+		a := New(DefaultL1(), seed)
+		b := New(DefaultL1(), seed)
+		return a.SetOf(line) == b.SetOf(line)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{Sets: 3, Ways: 1, LineBytes: 32}, 0)
+}
+
+func BenchmarkAccessRandom(b *testing.B) {
+	c := New(DefaultL1(), 1)
+	for i := 0; i < b.N; i++ {
+		c.AccessLine(uint64(i % 200))
+	}
+}
+
+func BenchmarkAccessLRU(b *testing.B) {
+	c := lruCache(64, 2)
+	for i := 0; i < b.N; i++ {
+		c.AccessLine(uint64(i % 200))
+	}
+}

@@ -1,0 +1,232 @@
+// Package core implements the paper's contribution: the combined, sound
+// application of PUB and TAC (Figure 3) that simultaneously achieves full
+// path coverage and cache representativeness for MBPTA.
+//
+// The pipeline for one analysis is:
+//
+//  1. Apply PUB to the original program, producing the pubbed program whose
+//     every path probabilistically upper-bounds every path of the original
+//     (Equation 1, Observation 1).
+//  2. Pick a path of the pubbed program — any user input vector works
+//     (Observation 3) — and collect its address sequence.
+//  3. Apply TAC to that sequence, obtaining the minimum number of runs
+//     R_tac for cache-layout representativeness.
+//  4. Run the pubbed program max(R_pub, R_tac) times, where R_pub is
+//     MBPTA's own convergence requirement, and apply MBPTA/EVT to the
+//     sample: the resulting pWCET upper-bounds the execution time
+//     distribution of every path of the original program under every cache
+//     layout occurring with relevant probability (Corollary 1).
+//
+// AnalyzeMultiPath applies the pipeline to several input vectors and takes
+// the per-probability minimum across the resulting curves (Corollary 2:
+// every pubbed path's estimate is reliable, so the lowest is preferred).
+package core
+
+import (
+	"fmt"
+
+	"pubtac/internal/mbpta"
+	"pubtac/internal/proc"
+	"pubtac/internal/program"
+	"pubtac/internal/pub"
+	"pubtac/internal/tac"
+)
+
+// Config assembles the knobs of the full pipeline.
+type Config struct {
+	Model proc.Model
+	MBPTA mbpta.Config
+	TAC   tac.Config
+
+	// CampaignCap bounds the number of runs actually simulated (0 = no
+	// cap). Reported run requirements (RPub, RTac, R) are not affected;
+	// only the measured sample is truncated. Use it to scale experiments
+	// down from paper-size campaigns.
+	CampaignCap int
+}
+
+// DefaultConfig returns the paper's evaluation setup.
+func DefaultConfig() Config {
+	return Config{
+		Model: proc.DefaultModel(),
+		MBPTA: mbpta.DefaultConfig(),
+		TAC:   tac.DefaultConfig(),
+	}
+}
+
+// Analyzer runs PUB+TAC analyses on programs.
+type Analyzer struct {
+	cfg Config
+}
+
+// New returns an Analyzer for the configuration.
+func New(cfg Config) *Analyzer { return &Analyzer{cfg: cfg} }
+
+// PathAnalysis is the outcome of the pipeline on one pubbed path.
+type PathAnalysis struct {
+	Program string        // original program name
+	Input   program.Input // the input vector selecting the path
+	Path    string        // path signature in the pubbed program
+
+	PubReport pub.Report    // PUB transformation statistics
+	TAC       *tac.Analysis // TAC result on the pubbed path's trace
+
+	RPub int // runs required by MBPTA convergence on the pubbed path
+	RTac int // runs required by TAC
+	R    int // max(RPub, RTac): the campaign size of the analysis
+
+	RunsUsed int             // runs actually simulated (after CampaignCap)
+	PubOnly  *mbpta.Estimate // estimate from the R_pub-run sample
+	Full     *mbpta.Estimate // estimate from the RunsUsed-run sample (PUB+TAC)
+}
+
+// PWCET returns the PUB+TAC pWCET estimate at exceedance probability p.
+func (pa *PathAnalysis) PWCET(p float64) float64 { return pa.Full.PWCET(p) }
+
+// AnalyzePath runs the full pipeline (Figure 3) on one input vector.
+func (a *Analyzer) AnalyzePath(p *program.Program, in program.Input) (*PathAnalysis, error) {
+	pubbed, rep, err := pub.Transform(p)
+	if err != nil {
+		return nil, fmt.Errorf("core: PUB failed on %s: %w", p.Name, err)
+	}
+	return a.analyzeOn(pubbed, p.Name, in, rep)
+}
+
+// analyzeOn runs steps 2-4 on an already-transformed program.
+func (a *Analyzer) analyzeOn(pubbed *program.Program, name string, in program.Input,
+	rep pub.Report) (*PathAnalysis, error) {
+
+	res, err := pubbed.Exec(in)
+	if err != nil {
+		return nil, fmt.Errorf("core: executing pubbed %s(%s): %w", name, in.Name, err)
+	}
+
+	ta, err := tac.Analyze(res.Trace, a.cfg.Model, a.cfg.TAC)
+	if err != nil {
+		return nil, fmt.Errorf("core: TAC on %s(%s): %w", name, in.Name, err)
+	}
+
+	root := mbpta.Seed(name + "/" + in.Name)
+	conv, err := mbpta.Converge(res.Trace, a.cfg.Model, a.cfg.MBPTA, root)
+	if err != nil {
+		return nil, fmt.Errorf("core: MBPTA convergence on %s(%s): %w", name, in.Name, err)
+	}
+
+	pa := &PathAnalysis{
+		Program:   name,
+		Input:     in,
+		Path:      res.Path,
+		PubReport: rep,
+		TAC:       ta,
+		RPub:      conv.Runs,
+		RTac:      ta.MinRuns,
+		PubOnly:   conv.Estimate,
+	}
+	pa.R = pa.RPub
+	if pa.RTac > pa.R {
+		pa.R = pa.RTac
+	}
+
+	pa.RunsUsed = pa.R
+	if a.cfg.CampaignCap > 0 && pa.RunsUsed > a.cfg.CampaignCap {
+		pa.RunsUsed = a.cfg.CampaignCap
+	}
+	if pa.RunsUsed <= conv.Runs {
+		// The converged sample already covers the requirement.
+		pa.Full = conv.Estimate
+		pa.RunsUsed = conv.Runs
+		return pa, nil
+	}
+	sample := mbpta.Collect(res.Trace, a.cfg.Model, pa.RunsUsed, root, a.cfg.MBPTA.Workers)
+	full, err := mbpta.NewEstimate(sample, a.cfg.MBPTA)
+	if err != nil {
+		return nil, fmt.Errorf("core: estimating %s(%s): %w", name, in.Name, err)
+	}
+	pa.Full = full
+	return pa, nil
+}
+
+// OriginalAnalysis is plain MBPTA on the unmodified program: the paper's
+// baseline R_orig ("applying neither TAC nor PUB, so only determined by
+// MBPTA") used by Table 2 and Figure 5.
+type OriginalAnalysis struct {
+	Program  string
+	Input    program.Input
+	Path     string
+	ROrig    int
+	Estimate *mbpta.Estimate
+}
+
+// AnalyzeOriginal measures the original program with plain MBPTA.
+func (a *Analyzer) AnalyzeOriginal(p *program.Program, in program.Input) (*OriginalAnalysis, error) {
+	res, err := p.Exec(in)
+	if err != nil {
+		return nil, fmt.Errorf("core: executing %s(%s): %w", p.Name, in.Name, err)
+	}
+	// Same campaign root as AnalyzePath: for single-path programs (where
+	// PUB is innocuous and traces coincide) original and pubbed analyses
+	// then see identical samples, removing spurious seed-to-seed noise
+	// from PUB-vs-original comparisons.
+	root := mbpta.Seed(p.Name + "/" + in.Name)
+	conv, err := mbpta.Converge(res.Trace, a.cfg.Model, a.cfg.MBPTA, root)
+	if err != nil {
+		return nil, err
+	}
+	return &OriginalAnalysis{
+		Program:  p.Name,
+		Input:    in,
+		Path:     res.Path,
+		ROrig:    conv.Runs,
+		Estimate: conv.Estimate,
+	}, nil
+}
+
+// MultiPathAnalysis aggregates pipeline results over several pubbed paths.
+type MultiPathAnalysis struct {
+	Paths []*PathAnalysis
+}
+
+// AnalyzeMultiPath runs the pipeline on every input vector. Per Corollary 2
+// all resulting estimates are reliable and representative upper-bounds of
+// all original paths; PWCET returns the tightest (lowest) one.
+func (a *Analyzer) AnalyzeMultiPath(p *program.Program, inputs []program.Input) (*MultiPathAnalysis, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("core: no input vectors for %s", p.Name)
+	}
+	pubbed, rep, err := pub.Transform(p)
+	if err != nil {
+		return nil, err
+	}
+	m := &MultiPathAnalysis{}
+	for _, in := range inputs {
+		pa, err := a.analyzeOn(pubbed, p.Name, in, rep)
+		if err != nil {
+			return nil, err
+		}
+		m.Paths = append(m.Paths, pa)
+	}
+	return m, nil
+}
+
+// PWCET returns the minimum pWCET across the analyzed pubbed paths at
+// exceedance probability p (Corollary 2).
+func (m *MultiPathAnalysis) PWCET(p float64) float64 {
+	best := m.Paths[0].PWCET(p)
+	for _, pa := range m.Paths[1:] {
+		if v := pa.PWCET(p); v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Best returns the path whose estimate is lowest at probability p.
+func (m *MultiPathAnalysis) Best(p float64) *PathAnalysis {
+	best := m.Paths[0]
+	for _, pa := range m.Paths[1:] {
+		if pa.PWCET(p) < best.PWCET(p) {
+			best = pa
+		}
+	}
+	return best
+}

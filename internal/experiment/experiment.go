@@ -1,0 +1,302 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (Section 3.3 and Section 4) from the simulator. Each generator
+// returns typed rows/series that cmd/tables, cmd/figures and the repository
+// benchmarks print.
+//
+// Campaign sizes scale with Options.Scale: 1.0 reproduces paper-sized
+// campaigns (10^6-run ECCDFs, full R_pub+tac campaigns), smaller values
+// shrink every campaign proportionally while keeping the analytic outputs
+// (TAC run counts, probabilities) exact. EXPERIMENTS.md records the scale
+// used for the checked-in results.
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"pubtac/internal/core"
+	"pubtac/internal/malardalen"
+	"pubtac/internal/mbpta"
+	"pubtac/internal/proc"
+	"pubtac/internal/stats"
+	"pubtac/internal/tac"
+)
+
+// Options control experiment size and determinism.
+type Options struct {
+	// Scale multiplies every campaign size (1.0 = paper size).
+	Scale float64
+	// Workers bounds simulation parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultOptions returns a laptop-friendly configuration (Scale 0.05).
+func DefaultOptions() Options { return Options{Scale: 0.05} }
+
+// scaled returns max(min, round(n*Scale)).
+func (o Options) scaled(n int, min int) int {
+	v := int(math.Round(float64(n) * o.Scale))
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// AnalyzerConfig builds the core configuration for the options.
+func (o Options) AnalyzerConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.MBPTA.InitialRuns = o.scaled(1000, 200)
+	cfg.MBPTA.Increment = o.scaled(1000, 200)
+	cfg.MBPTA.MaxRuns = o.scaled(300000, 4000)
+	cfg.MBPTA.Workers = o.Workers
+	cfg.CampaignCap = o.scaled(700000, 6000)
+	cfg.TAC = tac.DefaultConfig()
+	return cfg
+}
+
+// Table1Row is one row of Table 1: the bs execution-time domain for one
+// max-iteration input vector.
+type Table1Row struct {
+	Input    string  // v1, v3, ..., v15
+	RPubK    float64 // R_pub in thousands
+	RPTK     float64 // R_pub+tac in thousands
+	PWCETPub float64 // pWCET@1e-12 with R_pub runs (PUB column)
+	PWCETPT  float64 // pWCET@1e-12 with R_pub+tac runs (P+T column)
+}
+
+// Table1 regenerates Table 1: for each of bs's 8 maximum-iteration input
+// vectors, the required runs and the pWCET at 10^-12 with PUB only versus
+// PUB+TAC.
+func Table1(opts Options) ([]Table1Row, error) {
+	b := malardalen.BS()
+	a := core.New(opts.AnalyzerConfig())
+	var rows []Table1Row
+	for _, in := range malardalen.BSMaxIterationInputs(b) {
+		pa, err := a.AnalyzePath(b.Program, in)
+		if err != nil {
+			return nil, fmt.Errorf("table1 %s: %w", in.Name, err)
+		}
+		rows = append(rows, Table1Row{
+			Input:    in.Name,
+			RPubK:    float64(pa.RPub) / 1000,
+			RPTK:     float64(pa.R) / 1000,
+			PWCETPub: pa.PubOnly.PWCET(1e-12),
+			PWCETPT:  pa.Full.PWCET(1e-12),
+		})
+	}
+	return rows, nil
+}
+
+// Table2Row is one row of Table 2: run requirements for one benchmark.
+type Table2Row struct {
+	Benchmark string
+	ROrigK    float64 // plain MBPTA on the original program (thousands)
+	RPubK     float64 // MBPTA convergence on the pubbed program (thousands)
+	RPTK      float64 // PUB+TAC requirement (thousands)
+}
+
+// Table2 regenerates Table 2: R_orig, R_pub and R_pub+tac for all 11
+// benchmarks with their default input sets.
+func Table2(opts Options) ([]Table2Row, error) {
+	a := core.New(opts.AnalyzerConfig())
+	var rows []Table2Row
+	for _, b := range malardalen.All() {
+		oa, err := a.AnalyzeOriginal(b.Program, b.Default())
+		if err != nil {
+			return nil, fmt.Errorf("table2 %s (orig): %w", b.Name, err)
+		}
+		pa, err := a.AnalyzePath(b.Program, b.Default())
+		if err != nil {
+			return nil, fmt.Errorf("table2 %s: %w", b.Name, err)
+		}
+		rows = append(rows, Table2Row{
+			Benchmark: b.Name,
+			ROrigK:    float64(oa.ROrig) / 1000,
+			RPubK:     float64(pa.RPub) / 1000,
+			RPTK:      float64(pa.R) / 1000,
+		})
+	}
+	return rows, nil
+}
+
+// Series is a named ECCDF curve.
+type Series struct {
+	Name   string
+	Points []stats.ECCDFPoint
+}
+
+// Figure1 generates the didactic pWCET/pETd picture of Figure 1(a): the
+// empirical execution-time distribution of a small synthetic program on the
+// randomized platform, and the pWCET curve upper-bounding it.
+func Figure1(opts Options) ([]Series, error) {
+	b := malardalen.CNT()
+	res := b.Program.MustExec(b.Default())
+	n := opts.scaled(200000, 4000)
+	sample := mbpta.Collect(res.Trace, proc.DefaultModel(), n, mbpta.Seed("fig1"), opts.Workers)
+	est, err := mbpta.NewEstimate(sample, mbpta.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	etd := stats.NewECDF(sample)
+	curve := Series{Name: "pWCET"}
+	for _, pt := range etd.Points() {
+		if pt.Prob == 0 {
+			continue
+		}
+		curve.Points = append(curve.Points, stats.ECCDFPoint{
+			Value: est.Curve.ValueAt(pt.Prob), Prob: pt.Prob,
+		})
+	}
+	// Extend the pWCET curve beyond the sample.
+	for _, p := range []float64{1e-7, 1e-8, 1e-9, 1e-10, 1e-11, 1e-12} {
+		curve.Points = append(curve.Points, stats.ECCDFPoint{Value: est.Curve.ValueAt(p), Prob: p})
+	}
+	return []Series{{Name: "pETd", Points: etd.Points()}, curve}, nil
+}
+
+// Figure2 regenerates Figure 2: the ECCDFs of bs's 8 original
+// maximum-iteration paths and of the corresponding 8 pubbed paths; every
+// pubbed curve upper-bounds every original curve. The paper uses 10^6 runs
+// per path.
+func Figure2(opts Options) ([]Series, error) {
+	b := malardalen.BS()
+	pubbed, _, err := pubTransform(b)
+	if err != nil {
+		return nil, err
+	}
+	runs := opts.scaled(1000000, 3000)
+	model := proc.DefaultModel()
+	var out []Series
+	for _, in := range malardalen.BSMaxIterationInputs(b) {
+		orig := b.Program.MustExec(in)
+		sample := mbpta.Collect(orig.Trace, model, runs, mbpta.Seed("fig2/orig/"+in.Name), opts.Workers)
+		out = append(out, Series{Name: "orig/" + in.Name, Points: stats.NewECDF(sample).Points()})
+	}
+	for _, in := range malardalen.BSMaxIterationInputs(b) {
+		pr := pubbed.MustExec(in)
+		sample := mbpta.Collect(pr.Trace, model, runs, mbpta.Seed("fig2/pub/"+in.Name), opts.Workers)
+		out = append(out, Series{Name: "pub/" + in.Name, Points: stats.NewECDF(sample).Points()})
+	}
+	return out, nil
+}
+
+// Figure4Result holds the Figure 4 artifacts for bs input v9: the reference
+// ECCDF (6e6 runs in the paper), and the pWCET curves obtained with R_pub
+// and with R_pub+tac runs.
+type Figure4Result struct {
+	Reference Series // large-campaign ECCDF of the pubbed v9 path
+	PubCurve  Series // pWCET from R_pub runs
+	PTCurve   Series // pWCET from R_pub+tac runs
+	RPub      int
+	RPT       int
+}
+
+// Figure4 regenerates Figure 4. With only R_pub runs the abrupt ECCDF knee
+// caused by a low-probability cache placement is missed; with R_pub+tac
+// runs it is captured and the pWCET upper-bounds it.
+func Figure4(opts Options) (*Figure4Result, error) {
+	b := malardalen.BS()
+	a := core.New(opts.AnalyzerConfig())
+	in, err := b.Input("v9")
+	if err != nil {
+		return nil, err
+	}
+	pa, err := a.AnalyzePath(b.Program, in)
+	if err != nil {
+		return nil, err
+	}
+	pubbed, _, err := pubTransform(b)
+	if err != nil {
+		return nil, err
+	}
+	res := pubbed.MustExec(in)
+	refRuns := opts.scaled(6000000, 20000)
+	ref := mbpta.Collect(res.Trace, proc.DefaultModel(), refRuns, mbpta.Seed("fig4/ref"), opts.Workers)
+
+	out := &Figure4Result{
+		Reference: Series{Name: "ECCDF(6M-scaled)", Points: stats.NewECDF(ref).Points()},
+		RPub:      pa.RPub,
+		RPT:       pa.R,
+	}
+	out.PubCurve = curveSeries("pWCET(Rpub)", pa.PubOnly)
+	out.PTCurve = curveSeries("pWCET(Rp+t)", pa.Full)
+	return out, nil
+}
+
+func curveSeries(name string, est *mbpta.Estimate) Series {
+	s := Series{Name: name}
+	for _, exp := range []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12} {
+		p := math.Pow(10, -exp)
+		s.Points = append(s.Points, stats.ECCDFPoint{Value: est.PWCET(p), Prob: p})
+	}
+	return s
+}
+
+// Figure5Row is one bar group of Figure 5: pWCET estimates of PUB and
+// PUB+TAC normalized to the plain-MBPTA estimate on the original program.
+type Figure5Row struct {
+	Benchmark string
+	PubRatio  float64 // pWCET(PUB) / pWCET(orig) at 1e-12
+	PTRatio   float64 // pWCET(PUB+TAC) / pWCET(orig) at 1e-12
+}
+
+// Figure5 regenerates Figure 5 for all 11 benchmarks.
+func Figure5(opts Options) ([]Figure5Row, error) {
+	a := core.New(opts.AnalyzerConfig())
+	var rows []Figure5Row
+	for _, b := range malardalen.All() {
+		oa, err := a.AnalyzeOriginal(b.Program, b.Default())
+		if err != nil {
+			return nil, fmt.Errorf("figure5 %s (orig): %w", b.Name, err)
+		}
+		pa, err := a.AnalyzePath(b.Program, b.Default())
+		if err != nil {
+			return nil, fmt.Errorf("figure5 %s: %w", b.Name, err)
+		}
+		base := oa.Estimate.PWCET(1e-12)
+		rows = append(rows, Figure5Row{
+			Benchmark: b.Name,
+			PubRatio:  pa.PubOnly.PWCET(1e-12) / base,
+			PTRatio:   pa.Full.PWCET(1e-12) / base,
+		})
+	}
+	return rows, nil
+}
+
+// Section31Result reproduces the two worked examples of Section 3.1.
+type Section31Result struct {
+	ROrig311 int // {ABCA}^1000      -> 0 extra runs
+	RPub311  int // {ABCDEA}^1000    -> ~84873
+	ROrig312 int // {ABCDEA}^1000    -> ~84873
+	RPub312  int // {ABCDEFA}^1000   -> ~14137
+}
+
+// Section31 recomputes the worked examples with TAC on the 8-set 4-way
+// cache of Section 3.1.
+func Section31() (*Section31Result, error) {
+	cacheCfg := proc.DefaultModel()
+	cacheCfg.IL1.Sets, cacheCfg.IL1.Ways = 8, 4
+	cacheCfg.DL1.Sets, cacheCfg.DL1.Ways = 8, 4
+	cfg := tac.DefaultConfig()
+	runs := func(letters string) (int, error) {
+		tr := repeatLetters(letters, 1000)
+		an, err := tac.Analyze(tr, cacheCfg, cfg)
+		if err != nil {
+			return 0, err
+		}
+		return an.MinRuns, nil
+	}
+	var out Section31Result
+	var err error
+	if out.ROrig311, err = runs("ABCA"); err != nil {
+		return nil, err
+	}
+	if out.RPub311, err = runs("ABCDEA"); err != nil {
+		return nil, err
+	}
+	out.ROrig312 = out.RPub311
+	if out.RPub312, err = runs("ABCDEFA"); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

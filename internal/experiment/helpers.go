@@ -1,0 +1,18 @@
+package experiment
+
+import (
+	"pubtac/internal/malardalen"
+	"pubtac/internal/program"
+	"pubtac/internal/pub"
+	"pubtac/internal/trace"
+)
+
+// pubTransform applies PUB to a benchmark's program.
+func pubTransform(b *malardalen.Benchmark) (*program.Program, pub.Report, error) {
+	return pub.Transform(b.Program)
+}
+
+// repeatLetters builds the paper's {LETTERS}^n data traces on 32-byte lines.
+func repeatLetters(letters string, n int) trace.Trace {
+	return trace.Repeat(trace.FromLetters(letters, 32), n)
+}

@@ -1,0 +1,144 @@
+package malardalen
+
+import (
+	"fmt"
+
+	"pubtac/internal/program"
+)
+
+// bsElems is the paper's default input size: 15 integer elements, giving a
+// maximum binary-search depth of 4 probes.
+const bsElems = 15
+
+// BS builds the binary search benchmark (Section 3.3). The program searches
+// a sorted 15-entry table of (key, value) records for the key given in the
+// input scalar "x". The input determines the number of loop iterations and
+// the branch taken at each probe. Exactly 8 input vectors — the keys stored
+// at the 8 deepest tree positions — trigger the maximum number of
+// iterations while exercising 8 different paths; they are exposed as inputs
+// v1, v3, ..., v15, matching Table 1.
+func BS() *Benchmark {
+	// data[i] holds records with key = 10*i+1 (8 bytes per record: the key
+	// and the value word, like the struct DATA of the original source).
+	data := &program.Symbol{Name: "data", ElemBytes: 8, Len: bsElems}
+	stack := &program.Symbol{Name: "stack", ElemBytes: 4, Len: 8}
+
+	key := func(i int64) int64 { return 10*i + 1 }
+
+	// Stack slots: 0=low 1=up 2=mid 3=fvalue 4=x.
+	setup := blk("setup", 8, accs(ivar("x", 4), ivar("low", 0), ivar("up", 1), ivar("fvalue", 3)),
+		func(s *program.State) {
+			s.SetInt("low", 0)
+			s.SetInt("up", bsElems-1)
+			s.SetInt("fvalue", -1)
+		})
+
+	// While (low <= up && fvalue == -1): per-iteration head computes mid
+	// and loads data[mid].key.
+	head := blk("probe", 10, accs(
+		ivar("low", 0), ivar("up", 1), ivar("mid", 2),
+		program.Elem("data[mid]", "data", func(s *program.State) int64 { return s.Int("mid") }),
+	), nil)
+
+	// The head's mid computation must happen before the condition code's
+	// data[mid] access resolves; keep it in a preceding Do-only update via
+	// the While condition evaluation order: Head executes first, so compute
+	// mid inside the head action.
+	head.Do = func(s *program.State) {
+		s.SetInt("mid", (s.Int("low")+s.Int("up"))/2)
+	}
+
+	cond := func(s *program.State) bool {
+		return s.Int("low") <= s.Int("up") && s.Int("fvalue") == -1
+	}
+
+	foundBlk := blk("found", 6, accs(
+		program.Elem("data[mid]", "data", func(s *program.State) int64 { return s.Int("mid") }),
+		ivar("fvalue", 3), ivar("up", 1), ivar("low", 0),
+	), func(s *program.State) {
+		s.SetInt("fvalue", s.Arr("data")[s.Int("mid")])
+		s.SetInt("up", s.Int("low")-1) // terminate
+	})
+
+	goLeft := blk("left", 5, accs(ivar("up", 1), ivar("mid", 2)),
+		func(s *program.State) { s.SetInt("up", s.Int("mid")-1) })
+
+	goRight := blk("right", 5, accs(ivar("low", 0), ivar("mid", 2)),
+		func(s *program.State) { s.SetInt("low", s.Int("mid")+1) })
+
+	body := &program.If{
+		Label: "eq",
+		Cond: func(s *program.State) bool {
+			return s.Arr("data")[s.Int("mid")] == s.Int("x")
+		},
+		Then: foundBlk,
+		Else: &program.If{
+			Label: "gt",
+			Cond: func(s *program.State) bool {
+				return s.Arr("data")[s.Int("mid")] > s.Int("x")
+			},
+			Then: goLeft,
+			Else: goRight,
+		},
+	}
+
+	loop := &program.While{
+		Label:    "search",
+		Head:     head,
+		Cond:     cond,
+		MaxBound: 4, // ceil(log2(15+1)) probes
+		Body:     body,
+	}
+
+	finish := blk("finish", 4, accs(ivar("fvalue", 3)), nil)
+
+	p := program.New("bs", &program.Seq{Nodes: []program.Node{setup, loop, finish}},
+		data, stack)
+	p.MustLink()
+
+	// The stored table: keys 1, 11, 21, ... (sorted, distinct).
+	table := make([]int64, bsElems)
+	for i := range table {
+		table[i] = key(int64(i))
+	}
+
+	// Input vK searches for the key at 1-based position K. The 8 odd
+	// positions are the deepest leaves of the probe tree: 4 iterations, 8
+	// distinct paths (Table 1's v1, v3, ..., v15).
+	inputs := make([]program.Input, 0, bsElems+1)
+	mk := func(name string, x int64) program.Input {
+		return program.Input{
+			Name:   name,
+			Ints:   map[string]int64{"x": x},
+			Arrays: map[string][]int64{"data": table},
+		}
+	}
+	// Default input: the paper sticks to the default loop-bound input; use
+	// v9 territory (a max-iteration search) as the default vector.
+	inputs = append(inputs, mk("default", key(8)))
+	for k := 1; k <= bsElems; k++ {
+		inputs = append(inputs, mk(fmt.Sprintf("v%d", k), key(int64(k-1))))
+	}
+
+	return &Benchmark{
+		Name:       "bs",
+		Program:    p,
+		Inputs:     inputs,
+		MultiPath:  true,
+		WorstKnown: true,
+	}
+}
+
+// BSMaxIterationInputs returns the 8 input vectors that trigger the maximum
+// number of bs iterations (the paper's v1, v3, ..., v15).
+func BSMaxIterationInputs(b *Benchmark) []program.Input {
+	var out []program.Input
+	for k := 1; k <= bsElems; k += 2 {
+		in, err := b.Input(fmt.Sprintf("v%d", k))
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, in)
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package malardalen
+
+import "pubtac/internal/program"
+
+// cntDim is the matrix dimension of the cnt benchmark.
+const cntDim = 10
+
+// CNT builds the "count negative/positive numbers in a matrix" benchmark:
+// a doubly-nested scan of a 10x10 matrix where every element takes one of
+// two branches depending on its sign. The path through the program is
+// decided element-by-element by the input matrix; both branches perform the
+// same amount of work on different accumulator variables, so the default
+// (mixed-sign) input already exercises worst-case timing behaviour.
+func CNT() *Benchmark {
+	mat := &program.Symbol{Name: "mat", ElemBytes: 4, Len: cntDim * cntDim}
+	stack := &program.Symbol{Name: "stack", ElemBytes: 4, Len: 8}
+
+	// Stack slots: 0=postotal 1=poscnt 2=negtotal 3=negcnt 4=i 5=j.
+	idx := func(s *program.State) int64 { return s.Int("i")*cntDim + s.Int("j") }
+
+	setup := blk("setup", 6,
+		accs(ivar("postotal", 0), ivar("poscnt", 1), ivar("negtotal", 2), ivar("negcnt", 3)),
+		func(s *program.State) {
+			s.SetInt("postotal", 0)
+			s.SetInt("poscnt", 0)
+			s.SetInt("negtotal", 0)
+			s.SetInt("negcnt", 0)
+			s.SetInt("i", 0)
+		})
+
+	load := blk("load", 7, accs(
+		ivar("i", 4), ivar("j", 5),
+		program.Elem("mat[i][j]", "mat", idx),
+	), nil)
+
+	pos := blk("pos", 6, accs(
+		program.Elem("mat[i][j]", "mat", idx),
+		ivar("postotal", 0), ivar("poscnt", 1),
+	), func(s *program.State) {
+		s.SetInt("postotal", s.Int("postotal")+s.Arr("mat")[idx(s)])
+		s.SetInt("poscnt", s.Int("poscnt")+1)
+	})
+
+	neg := blk("neg", 6, accs(
+		program.Elem("mat[i][j]", "mat", idx),
+		ivar("negtotal", 2), ivar("negcnt", 3),
+	), func(s *program.State) {
+		s.SetInt("negtotal", s.Int("negtotal")+s.Arr("mat")[idx(s)])
+		s.SetInt("negcnt", s.Int("negcnt")+1)
+	})
+
+	inner := counted("col", blk("colh", 3, accs(ivar("j", 5)), nil), cntDim,
+		&program.Seq{Nodes: []program.Node{
+			load,
+			&program.If{
+				Label: "sign",
+				Cond:  func(s *program.State) bool { return s.Arr("mat")[idx(s)] >= 0 },
+				Then:  pos,
+				Else:  neg,
+			},
+			blk("jinc", 2, nil, func(s *program.State) { s.SetInt("j", s.Int("j")+1) }),
+		}})
+
+	outer := counted("row", blk("rowh", 3, accs(ivar("i", 4)), nil), cntDim,
+		&program.Seq{Nodes: []program.Node{
+			blk("jzero", 1, nil, func(s *program.State) { s.SetInt("j", 0) }),
+			inner,
+			blk("iinc", 2, nil, func(s *program.State) { s.SetInt("i", s.Int("i")+1) }),
+		}})
+
+	finish := blk("finish", 5, accs(ivar("postotal", 0), ivar("negtotal", 2)), nil)
+
+	p := program.New("cnt", &program.Seq{Nodes: []program.Node{setup, outer, finish}},
+		mat, stack)
+	p.MustLink()
+
+	// Default input: the original seeds a PRNG producing mixed signs; use a
+	// deterministic alternating-sign fill with varying magnitudes.
+	def := make([]int64, cntDim*cntDim)
+	for i := range def {
+		v := int64(i*37%100 + 1)
+		if i%2 == 1 {
+			v = -v
+		}
+		def[i] = v
+	}
+	allPos := make([]int64, cntDim*cntDim)
+	allNeg := make([]int64, cntDim*cntDim)
+	for i := range allPos {
+		allPos[i] = int64(i + 1)
+		allNeg[i] = -int64(i + 1)
+	}
+
+	return &Benchmark{
+		Name:    "cnt",
+		Program: p,
+		Inputs: []program.Input{
+			{Name: "default", Arrays: map[string][]int64{"mat": def}},
+			{Name: "allpos", Arrays: map[string][]int64{"mat": allPos}},
+			{Name: "allneg", Arrays: map[string][]int64{"mat": allNeg}},
+		},
+		MultiPath:  true,
+		WorstKnown: true,
+	}
+}

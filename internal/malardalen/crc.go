@@ -1,0 +1,111 @@
+package malardalen
+
+import "pubtac/internal/program"
+
+const (
+	crcMsgLen = 40   // message bytes processed
+	crcPoly   = 0x31 // CRC-8 polynomial (x^8+x^5+x^4+1), low byte
+)
+
+// CRC builds the cyclic-redundancy-check benchmark: a bitwise CRC over a
+// 40-byte message with a table lookup per byte. The xor-reduction branch is
+// taken only when the shifted-out bit is set, so the path through the 320
+// bit steps — and the amount of work — depends on the message content.
+//
+// This is the paper's example of a multipath program whose worst-case path
+// is NOT triggered by the default input: the default message is sparse
+// (mostly zero bytes), keeping the accumulator empty and the reduction
+// branch almost never taken, while adversarial messages take it
+// continuously (Section 4.2 reports a 4.4x pWCET increase when PUB accounts
+// for those unobserved paths).
+func CRC() *Benchmark {
+	msg := &program.Symbol{Name: "msg", ElemBytes: 1, Len: crcMsgLen}
+	tbl := &program.Symbol{Name: "crctab", ElemBytes: 1, Len: 256}
+	stack := &program.Symbol{Name: "stack", ElemBytes: 4, Len: 8}
+
+	// Stack slots: 0=i 1=bit 2=acc 3=ch.
+	setup := blk("setup", 6, accs(ivar("acc", 2), ivar("i", 0)),
+		func(s *program.State) {
+			s.SetInt("acc", 0)
+			s.SetInt("i", 0)
+		})
+
+	loadByte := blk("loadbyte", 6, accs(
+		program.Elem("msg[i]", "msg", func(s *program.State) int64 { return s.Int("i") }),
+		ivar("ch", 3), ivar("bit", 1),
+	), func(s *program.State) {
+		s.SetInt("ch", s.Arr("msg")[s.Int("i")])
+		s.SetInt("acc", s.Int("acc")^s.Int("ch"))
+		s.SetInt("bit", 0)
+	})
+
+	// The heavy branch: shift and xor with the polynomial, then two table
+	// touches keyed by the accumulator (data-dependent addresses). This is
+	// the work the default (sparse) input almost never performs.
+	reduce := blk("reduce", 16, accs(
+		ivar("acc", 2),
+		program.Elem("crctab[acc]", "crctab", func(s *program.State) int64 { return s.Int("acc") & 0xFF }),
+		program.Elem("crctab[acc^poly]", "crctab", func(s *program.State) int64 {
+			return (s.Int("acc") ^ crcPoly) & 0xFF
+		}),
+	), func(s *program.State) {
+		s.SetInt("acc", ((s.Int("acc")<<1)^crcPoly)&0xFF)
+	})
+
+	shift := blk("shift", 3, accs(ivar("acc", 2)), func(s *program.State) {
+		s.SetInt("acc", (s.Int("acc")<<1)&0xFF)
+	})
+
+	bitLoop := counted("bits",
+		blk("bith", 4, accs(ivar("bit", 1), ivar("acc", 2)), nil),
+		8,
+		&program.Seq{Nodes: []program.Node{
+			&program.If{
+				Label: "msb",
+				Cond:  func(s *program.State) bool { return s.Int("acc")&0x80 != 0 },
+				Then:  reduce,
+				Else:  shift,
+			},
+			blk("bitinc", 2, nil, func(s *program.State) { s.SetInt("bit", s.Int("bit")+1) }),
+		}})
+
+	byteLoop := counted("bytes",
+		blk("byteh", 3, accs(ivar("i", 0)), nil),
+		crcMsgLen,
+		&program.Seq{Nodes: []program.Node{
+			loadByte,
+			bitLoop,
+			blk("byteinc", 3, accs(ivar("i", 0)),
+				func(s *program.State) { s.SetInt("i", s.Int("i")+1) }),
+		}})
+
+	finish := blk("finish", 4, accs(ivar("acc", 2)), nil)
+
+	p := program.New("crc", &program.Seq{Nodes: []program.Node{setup, byteLoop, finish}},
+		msg, tbl, stack)
+	p.MustLink()
+
+	// Default message: near-empty (a single payload byte close to the
+	// end). The accumulator stays zero for most of the message, so the
+	// reduction branch is almost never taken — far from the worst path.
+	defMsg := make([]int64, crcMsgLen)
+	defMsg[crcMsgLen-2] = 'A'
+	// Adversarial message: all 0xFF drives the accumulator's MSB high on
+	// most bit steps.
+	hotMsg := make([]int64, crcMsgLen)
+	for i := range hotMsg {
+		hotMsg[i] = 0xFF
+	}
+	table := make([]int64, 256)
+	mk := func(name string, m []int64) program.Input {
+		return program.Input{Name: name,
+			Arrays: map[string][]int64{"msg": m, "crctab": table}}
+	}
+	return &Benchmark{
+		Name:       "crc",
+		Program:    p,
+		Inputs:     []program.Input{mk("default", defMsg), mk("dense", hotMsg)},
+		MultiPath:  true,
+		WorstKnown: false, // worst-case path not identifiable / not triggered
+	}
+}

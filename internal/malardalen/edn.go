@@ -1,0 +1,106 @@
+package malardalen
+
+import "pubtac/internal/program"
+
+// EDN builds the edn signal-processing benchmark: a fixed sequence of DSP
+// kernels (vector multiply, multiply-accumulate, FIR-like convolution and a
+// lattice-filter stage) over integer arrays. All loop bounds are constants:
+// the program is single-path, and execution-time variability on the
+// randomized platform comes from cache layout alone.
+func EDN() *Benchmark {
+	a := &program.Symbol{Name: "a", ElemBytes: 4, Len: 64}
+	b := &program.Symbol{Name: "b", ElemBytes: 4, Len: 64}
+	c := &program.Symbol{Name: "c", ElemBytes: 4, Len: 64}
+	stack := &program.Symbol{Name: "stack", ElemBytes: 4, Len: 8}
+
+	// Stack slots: 0=i 1=j 2=acc.
+	iAt := func(s *program.State) int64 { return s.Int("i") }
+
+	vecMpy := counted("vecmpy", blk("vmh", 3, accs(ivar("i", 0)), nil), 48,
+		blk("vmb", 6, accs(
+			program.Elem("a[i]", "a", iAt),
+			program.Elem("b[i]", "b", iAt),
+		), func(s *program.State) {
+			i := s.Int("i")
+			s.Arr("a")[i] += s.Arr("b")[i] * 3
+			s.SetInt("i", i+1)
+		}))
+
+	mac := counted("mac", blk("mach", 3, accs(ivar("i", 0)), nil), 48,
+		blk("macb", 7, accs(
+			program.Elem("a[i]", "a", iAt),
+			program.Elem("b[i]", "b", iAt),
+			ivar("acc", 2),
+		), func(s *program.State) {
+			i := s.Int("i")
+			s.SetInt("acc", s.Int("acc")+s.Arr("a")[i]*s.Arr("b")[i])
+			s.SetInt("i", i+1)
+		}))
+
+	conv := counted("conv", blk("convoh", 3, accs(ivar("i", 0)), nil), 16,
+		&program.Seq{Nodes: []program.Node{
+			counted("convi", blk("convih", 3, accs(ivar("j", 1)), nil), 8,
+				blk("convb", 8, accs(
+					program.Elem("a[i+j]", "a", func(s *program.State) int64 { return s.Int("i") + s.Int("j") }),
+					program.Elem("c[j]", "c", func(s *program.State) int64 { return s.Int("j") }),
+					ivar("acc", 2),
+				), func(s *program.State) {
+					i, j := s.Int("i"), s.Int("j")
+					if i+j < 64 && j < 64 {
+						s.SetInt("acc", s.Int("acc")+s.Arr("a")[i+j]*s.Arr("c")[j])
+					}
+					s.SetInt("j", j+1)
+				})),
+			blk("convinc", 3, accs(ivar("i", 0)), func(s *program.State) {
+				s.SetInt("i", s.Int("i")+1)
+				s.SetInt("j", 0)
+			}),
+		}})
+
+	lattice := counted("latsynth", blk("lath", 3, accs(ivar("i", 0)), nil), 32,
+		blk("latb", 9, accs(
+			program.Elem("b[i]", "b", iAt),
+			program.Elem("c[i]", "c", iAt),
+			program.Elem("a[63-i]", "a", func(s *program.State) int64 { return 63 - s.Int("i") }),
+		), func(s *program.State) {
+			i := s.Int("i")
+			s.Arr("c")[i] = s.Arr("b")[i] - s.Arr("a")[63-i]
+			s.SetInt("i", i+1)
+		}))
+
+	zero := func(name string) func(*program.State) {
+		return func(s *program.State) { s.SetInt(name, 0) }
+	}
+	p := program.New("edn", &program.Seq{Nodes: []program.Node{
+		blk("init0", 4, accs(ivar("i", 0), ivar("acc", 2)), func(s *program.State) {
+			zero("i")(s)
+			zero("acc")(s)
+		}),
+		vecMpy,
+		blk("init1", 2, nil, zero("i")),
+		mac,
+		blk("init2", 2, nil, zero("i")),
+		conv,
+		blk("init3", 2, nil, zero("i")),
+		lattice,
+	}}, a, b, c, stack)
+	p.MustLink()
+
+	arr := func(seed int64) []int64 {
+		v := make([]int64, 64)
+		for i := range v {
+			v[i] = (int64(i)*seed + 7) % 100
+		}
+		return v
+	}
+	return &Benchmark{
+		Name:    "edn",
+		Program: p,
+		Inputs: []program.Input{{
+			Name:   "default",
+			Arrays: map[string][]int64{"a": arr(3), "b": arr(5), "c": arr(11)},
+		}},
+		MultiPath:  false,
+		WorstKnown: true,
+	}
+}

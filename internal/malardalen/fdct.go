@@ -1,0 +1,82 @@
+package malardalen
+
+import "pubtac/internal/program"
+
+// FDCT builds the fast discrete cosine transform benchmark: like jfdctint
+// it processes an 8x8 block in a row pass and a column pass, but with a
+// different (larger, unrolled-butterfly) block structure and no descaling
+// loop, mirroring the structural differences of the two suite programs.
+// Fixed bounds, single path.
+func FDCT() *Benchmark {
+	blkSym := &program.Symbol{Name: "dct", ElemBytes: 4, Len: 64}
+	tmp := &program.Symbol{Name: "tmp", ElemBytes: 4, Len: 16}
+	stack := &program.Symbol{Name: "stack", ElemBytes: 4, Len: 4}
+
+	rowAccs := make([]*program.Acc, 0, 12)
+	colAccs := make([]*program.Acc, 0, 12)
+	for j := int64(0); j < 8; j++ {
+		jj := j
+		rowAccs = append(rowAccs, program.Elem("r+"+string(rune('0'+j)), "dct",
+			func(s *program.State) int64 { return s.Int("i")*8 + jj }))
+		colAccs = append(colAccs, program.Elem("c+"+string(rune('0'+j)), "dct",
+			func(s *program.State) int64 { return jj*8 + s.Int("i") }))
+	}
+	for t := int64(0); t < 4; t++ {
+		tt := t
+		acc := program.Elem("tmp+"+string(rune('0'+t)), "tmp",
+			func(s *program.State) int64 { return tt })
+		rowAccs = append(rowAccs, acc)
+		colAccs = append(colAccs, acc)
+	}
+
+	stage := func(kind string) func(*program.State) {
+		return func(s *program.State) {
+			i := s.Int("i")
+			arr := s.Arr("dct")
+			base, stride := i*8, int64(1)
+			if kind == "col" {
+				base, stride = i, 8
+			}
+			for k := int64(0); k < 4; k++ {
+				lo, hi := base+k*stride, base+(7-k)*stride
+				if lo >= 0 && hi < 64 && lo < 64 {
+					sum := arr[lo] + arr[hi]
+					diff := arr[lo] - arr[hi]
+					// Constant rotations of the reference implementation
+					// approximated with integer shifts.
+					arr[lo] = sum + sum/4
+					arr[hi] = diff - diff/8
+				}
+			}
+			s.SetInt("i", i+1)
+		}
+	}
+
+	rowPass := counted("frows", blk("frh", 5, accs(ivar("i", 0)), nil), 8,
+		blk("frb", 30, rowAccs, stage("row")))
+	colPass := counted("fcols", blk("fch", 5, accs(ivar("i", 0)), nil), 8,
+		blk("fcb", 30, colAccs, stage("col")))
+
+	p := program.New("fdct", &program.Seq{Nodes: []program.Node{
+		blk("fz0", 2, nil, func(s *program.State) { s.SetInt("i", 0) }),
+		rowPass,
+		blk("fz1", 2, nil, func(s *program.State) { s.SetInt("i", 0) }),
+		colPass,
+	}}, blkSym, tmp, stack)
+	p.MustLink()
+
+	px := make([]int64, 64)
+	for i := range px {
+		px[i] = int64((i*53)%255 - 128)
+	}
+	return &Benchmark{
+		Name:    "fdct",
+		Program: p,
+		Inputs: []program.Input{{
+			Name:   "default",
+			Arrays: map[string][]int64{"dct": px, "tmp": make([]int64, 16)},
+		}},
+		MultiPath:  false,
+		WorstKnown: true,
+	}
+}

@@ -1,0 +1,111 @@
+package malardalen
+
+import "pubtac/internal/program"
+
+const (
+	firSamples = 40 // input samples processed
+	firCoefs   = 8  // filter taps
+)
+
+// FIR builds the finite-impulse-response filter benchmark: for every output
+// sample, a multiply-accumulate loop over min(i+1, taps) coefficients (the
+// warm-up prefix runs fewer taps — a bound, not a branch, exactly like the
+// original's loop structure). The scaling stage is guarded by the input
+// scale factor, making the program multipath; the default input (non-zero
+// scale) triggers the worst-case path.
+func FIR() *Benchmark {
+	in := &program.Symbol{Name: "in", ElemBytes: 4, Len: firSamples}
+	coef := &program.Symbol{Name: "coef", ElemBytes: 4, Len: firCoefs}
+	out := &program.Symbol{Name: "out", ElemBytes: 4, Len: firSamples}
+	stack := &program.Symbol{Name: "stack", ElemBytes: 4, Len: 8}
+
+	// Stack slots: 0=i 1=j 2=sum 3=scale.
+	setup := blk("setup", 6, accs(ivar("scale", 3), ivar("i", 0)),
+		func(s *program.State) { s.SetInt("i", 0) })
+
+	mac := blk("mac", 8, accs(
+		program.Elem("in[i-j]", "in", func(s *program.State) int64 { return s.Int("i") - s.Int("j") }),
+		program.Elem("coef[j]", "coef", func(s *program.State) int64 { return s.Int("j") }),
+		ivar("sum", 2),
+	), func(s *program.State) {
+		i, j := s.Int("i"), s.Int("j")
+		if i-j >= 0 && i-j < firSamples && j < firCoefs {
+			s.SetInt("sum", s.Int("sum")+s.Arr("in")[i-j]*s.Arr("coef")[j])
+		}
+		s.SetInt("j", j+1)
+	})
+
+	macLoop := &program.Loop{
+		Label: "macs",
+		Head:  blk("mach", 3, accs(ivar("j", 1)), nil),
+		Bound: func(s *program.State) int {
+			n := int(s.Int("i")) + 1
+			if n > firCoefs {
+				n = firCoefs
+			}
+			return n
+		},
+		MaxBound: firCoefs,
+		Body:     mac,
+	}
+
+	scaleBlk := blk("scale", 7, accs(ivar("sum", 2), ivar("scale", 3)),
+		func(s *program.State) { s.SetInt("sum", s.Int("sum")/(s.Int("scale")+1)) })
+	noScale := blk("noscale", 2, nil, nil)
+
+	store := blk("store", 5, accs(
+		program.Elem("out[i]", "out", func(s *program.State) int64 { return s.Int("i") }),
+		ivar("i", 0),
+	), func(s *program.State) {
+		if i := s.Int("i"); i >= 0 && i < firSamples {
+			s.Arr("out")[i] = s.Int("sum")
+		}
+		s.SetInt("i", s.Int("i")+1)
+	})
+
+	body := &program.Seq{Nodes: []program.Node{
+		blk("sample", 4, accs(ivar("sum", 2), ivar("j", 1)), func(s *program.State) {
+			s.SetInt("sum", 0)
+			s.SetInt("j", 0)
+		}),
+		macLoop,
+		&program.If{
+			Label: "doscale",
+			Cond:  func(s *program.State) bool { return s.Int("scale") != 0 },
+			Then:  scaleBlk,
+			Else:  noScale,
+		},
+		store,
+	}}
+
+	loop := counted("samples", blk("sh", 3, accs(ivar("i", 0)), nil), firSamples, body)
+
+	p := program.New("fir", &program.Seq{Nodes: []program.Node{setup, loop}},
+		in, coef, out, stack)
+	p.MustLink()
+
+	signal := make([]int64, firSamples)
+	for i := range signal {
+		signal[i] = int64((i*13)%50 - 25)
+	}
+	taps := make([]int64, firCoefs)
+	for i := range taps {
+		taps[i] = int64(i + 1)
+	}
+	mkInput := func(name string, scale int64) program.Input {
+		return program.Input{
+			Name: name,
+			Ints: map[string]int64{"scale": scale},
+			Arrays: map[string][]int64{
+				"in": signal, "coef": taps, "out": make([]int64, firSamples),
+			},
+		}
+	}
+	return &Benchmark{
+		Name:       "fir",
+		Program:    p,
+		Inputs:     []program.Input{mkInput("default", 285), mkInput("noscale", 0)},
+		MultiPath:  true,
+		WorstKnown: true,
+	}
+}

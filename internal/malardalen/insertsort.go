@@ -1,0 +1,76 @@
+package malardalen
+
+import "pubtac/internal/program"
+
+const sortLen = 10
+
+// InsertSort builds the insertion-sort benchmark over 10 elements. The
+// inner while loop's trip count is data-dependent, but the suite's default
+// input is the reverse-sorted array — the worst case, giving the maximal
+// (and fixed) path. Following the paper's classification it is treated as
+// single-path under its default input.
+func InsertSort() *Benchmark {
+	a := &program.Symbol{Name: "a", ElemBytes: 4, Len: sortLen}
+	stack := &program.Symbol{Name: "stack", ElemBytes: 4, Len: 4}
+
+	// Stack slots: 0=i 1=j.
+	setup := blk("setup", 4, accs(ivar("i", 0)),
+		func(s *program.State) { s.SetInt("i", 1) })
+
+	inner := &program.While{
+		Label: "shift",
+		Head: blk("cmp", 6, accs(
+			ivar("j", 1),
+			program.Elem("a[j-1]", "a", func(s *program.State) int64 { return s.Int("j") - 1 }),
+			program.Elem("a[j]", "a", func(s *program.State) int64 { return s.Int("j") }),
+		), nil),
+		Cond: func(s *program.State) bool {
+			j := s.Int("j")
+			return j > 0 && s.Arr("a")[j-1] > s.Arr("a")[j]
+		},
+		MaxBound: sortLen,
+		Body: blk("swap", 8, accs(
+			program.Elem("a[j-1]", "a", func(s *program.State) int64 { return s.Int("j") - 1 }),
+			program.Elem("a[j]", "a", func(s *program.State) int64 { return s.Int("j") }),
+			ivar("j", 1),
+		), func(s *program.State) {
+			j := s.Int("j")
+			arr := s.Arr("a")
+			arr[j-1], arr[j] = arr[j], arr[j-1]
+			s.SetInt("j", j-1)
+		}),
+	}
+
+	outer := counted("pass", blk("passh", 3, accs(ivar("i", 0)), nil), sortLen-1,
+		&program.Seq{Nodes: []program.Node{
+			blk("pick", 4, accs(ivar("i", 0), ivar("j", 1)),
+				func(s *program.State) { s.SetInt("j", s.Int("i")) }),
+			inner,
+			blk("next", 2, nil,
+				func(s *program.State) { s.SetInt("i", s.Int("i")+1) }),
+		}})
+
+	p := program.New("insertsort", &program.Seq{Nodes: []program.Node{setup, outer}},
+		a, stack)
+	p.MustLink()
+
+	// Default input: reverse-sorted (the suite's worst case).
+	rev := make([]int64, sortLen)
+	for i := range rev {
+		rev[i] = int64(sortLen - i)
+	}
+	sorted := make([]int64, sortLen)
+	for i := range sorted {
+		sorted[i] = int64(i)
+	}
+	return &Benchmark{
+		Name:    "insertsort",
+		Program: p,
+		Inputs: []program.Input{
+			{Name: "default", Arrays: map[string][]int64{"a": rev}},
+			{Name: "sorted", Arrays: map[string][]int64{"a": sorted}},
+		},
+		MultiPath:  false,
+		WorstKnown: true,
+	}
+}

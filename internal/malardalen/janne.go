@@ -1,0 +1,88 @@
+package malardalen
+
+import "pubtac/internal/program"
+
+// Janne builds janne_complex: two nested while loops whose induction
+// variables are coupled through conditional updates, a classic hard case for
+// flow analysis. The iteration counts and branch outcomes depend on the
+// input values of a and b; the default input (a=1, b=1) drives the loops
+// through their longest interplay.
+//
+//	while (a < 30) {
+//	    while (b < a) {
+//	        if (b > 5) b *= 3; else b += 2;
+//	        if (b >= 10 && b <= 12) a += 10; else a += 1;
+//	    }
+//	    a += 2; b -= 10;
+//	}
+func Janne() *Benchmark {
+	stack := &program.Symbol{Name: "stack", ElemBytes: 4, Len: 4}
+
+	// Stack slots: 0=a 1=b.
+	setup := blk("setup", 4, accs(ivar("a", 0), ivar("b", 1)), nil)
+
+	innerBody := &program.Seq{Nodes: []program.Node{
+		&program.If{
+			Label: "bstep",
+			Head:  blk("bcmp", 3, accs(ivar("b", 1)), nil),
+			Cond:  func(s *program.State) bool { return s.Int("b") > 5 },
+			Then: blk("btriple", 4, accs(ivar("b", 1)),
+				func(s *program.State) { s.SetInt("b", s.Int("b")*3) }),
+			Else: blk("bplus", 3, accs(ivar("b", 1)),
+				func(s *program.State) { s.SetInt("b", s.Int("b")+2) }),
+		},
+		&program.If{
+			Label: "astep",
+			Head:  blk("acmp", 4, accs(ivar("b", 1)), nil),
+			Cond:  func(s *program.State) bool { return s.Int("b") >= 10 && s.Int("b") <= 12 },
+			Then: blk("ajump", 3, accs(ivar("a", 0)),
+				func(s *program.State) { s.SetInt("a", s.Int("a")+10) }),
+			Else: blk("acreep", 3, accs(ivar("a", 0)),
+				func(s *program.State) { s.SetInt("a", s.Int("a")+1) }),
+		},
+	}}
+
+	inner := &program.While{
+		Label:    "inner",
+		Head:     blk("innerh", 4, accs(ivar("a", 0), ivar("b", 1)), nil),
+		Cond:     func(s *program.State) bool { return s.Int("b") < s.Int("a") },
+		MaxBound: 40,
+		Body:     innerBody,
+	}
+
+	outerBody := &program.Seq{Nodes: []program.Node{
+		inner,
+		blk("outerstep", 5, accs(ivar("a", 0), ivar("b", 1)), func(s *program.State) {
+			s.SetInt("a", s.Int("a")+2)
+			s.SetInt("b", s.Int("b")-10)
+		}),
+	}}
+
+	outer := &program.While{
+		Label:    "outer",
+		Head:     blk("outerh", 3, accs(ivar("a", 0)), nil),
+		Cond:     func(s *program.State) bool { return s.Int("a") < 30 },
+		MaxBound: 40,
+		Body:     outerBody,
+	}
+
+	p := program.New("janne", &program.Seq{Nodes: []program.Node{setup, outer}}, stack)
+	p.MustLink()
+
+	mk := func(name string, a, b int64) program.Input {
+		return program.Input{Name: name, Ints: map[string]int64{"a": a, "b": b}}
+	}
+	// The scalars a and b live in the state under their own names; copy
+	// them from the input via the setup action.
+	setup.Do = func(s *program.State) {
+		// a and b already present from the input vector.
+		_ = s
+	}
+	return &Benchmark{
+		Name:       "janne",
+		Program:    p,
+		Inputs:     []program.Input{mk("default", 1, 1), mk("mid", 10, 3), mk("late", 25, 20)},
+		MultiPath:  true,
+		WorstKnown: true,
+	}
+}

@@ -1,0 +1,87 @@
+package malardalen
+
+import "pubtac/internal/program"
+
+// JFDCTInt builds the JPEG integer forward discrete cosine transform over
+// one 8x8 block: a row pass, a column pass (stride-8 accesses spreading over
+// all 8 lines of the block) and a descaling pass. Fixed bounds, single path.
+func JFDCTInt() *Benchmark {
+	blkSym := &program.Symbol{Name: "block", ElemBytes: 4, Len: 64}
+	stack := &program.Symbol{Name: "stack", ElemBytes: 4, Len: 4}
+
+	// Stack slots: 0=i 1=j.
+	rowAt := func(j int64) func(*program.State) int64 {
+		return func(s *program.State) int64 { return s.Int("i")*8 + j }
+	}
+	colAt := func(j int64) func(*program.State) int64 {
+		return func(s *program.State) int64 { return j*8 + s.Int("i") }
+	}
+
+	rowAccs := make([]*program.Acc, 0, 8)
+	colAccs := make([]*program.Acc, 0, 8)
+	for j := int64(0); j < 8; j++ {
+		rowAccs = append(rowAccs, program.Elem("row+"+string(rune('0'+j)), "block", rowAt(j)))
+		colAccs = append(colAccs, program.Elem("col+"+string(rune('0'+j)), "block", colAt(j)))
+	}
+
+	butterfly := func(kind string) func(*program.State) {
+		return func(s *program.State) {
+			i := s.Int("i")
+			arr := s.Arr("block")
+			base := i * 8
+			stride := int64(1)
+			if kind == "col" {
+				base = i
+				stride = 8
+			}
+			for k := int64(0); k < 4; k++ {
+				lo, hi := base+k*stride, base+(7-k)*stride
+				if lo >= 0 && hi < 64 {
+					sum := arr[lo] + arr[hi]
+					diff := arr[lo] - arr[hi]
+					arr[lo], arr[hi] = sum, diff/2
+				}
+			}
+			s.SetInt("i", i+1)
+		}
+	}
+
+	rowPass := counted("rows", blk("rowh", 4, accs(ivar("i", 0)), nil), 8,
+		blk("rowb", 22, rowAccs, butterfly("row")))
+
+	colPass := counted("cols", blk("colh", 4, accs(ivar("i", 0)), nil), 8,
+		blk("colb", 22, colAccs, butterfly("col")))
+
+	descale := counted("descale", blk("dsh", 3, accs(ivar("j", 1)), nil), 64,
+		blk("dsb", 5, accs(
+			program.Elem("block[j]", "block", func(s *program.State) int64 { return s.Int("j") }),
+		), func(s *program.State) {
+			j := s.Int("j")
+			s.Arr("block")[j] /= 8
+			s.SetInt("j", j+1)
+		}))
+
+	zeroI := blk("zi", 2, nil, func(s *program.State) { s.SetInt("i", 0) })
+	zeroI2 := blk("zi2", 2, nil, func(s *program.State) { s.SetInt("i", 0); s.SetInt("j", 0) })
+
+	p := program.New("jfdctint", &program.Seq{Nodes: []program.Node{
+		zeroI, rowPass, program.Clone(zeroI2).(*program.Block), colPass,
+		blk("zj", 2, nil, func(s *program.State) { s.SetInt("j", 0) }), descale,
+	}}, blkSym, stack)
+	p.MustLink()
+
+	px := make([]int64, 64)
+	for i := range px {
+		px[i] = int64((i*29)%255 - 128)
+	}
+	return &Benchmark{
+		Name:    "jfdctint",
+		Program: p,
+		Inputs: []program.Input{{
+			Name:   "default",
+			Arrays: map[string][]int64{"block": px},
+		}},
+		MultiPath:  false,
+		WorstKnown: true,
+	}
+}

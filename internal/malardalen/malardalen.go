@@ -1,0 +1,125 @@
+// Package malardalen re-creates the subset of the Mälardalen WCET benchmark
+// suite used in the paper's evaluation (Gustafsson et al., WCET 2010) on the
+// program IR: same control structure, same path behaviour, and code/data
+// footprints representative of the compiled originals.
+//
+// Path classification follows Section 4.2 of the paper:
+//
+//   - bs, cnt, fir, janne: multipath, but the default input set already
+//     triggers the worst-case path;
+//   - crc: multipath, worst-case path NOT triggered by the default input;
+//   - edn, insertsort, jfdctint, matmult, fdct, ns: single-path (execution
+//     time variability comes from the randomized hardware only).
+//
+// Each benchmark provides its default input set ("default input sets,
+// considering them representative of the worst case for loop bounds") and,
+// for multipath programs, the alternative input vectors used in the
+// analysis (bs: the 8 maximum-iteration vectors v1..v15 of Table 1).
+package malardalen
+
+import (
+	"fmt"
+	"sort"
+
+	"pubtac/internal/program"
+)
+
+// Benchmark couples a program with its input vectors and path metadata.
+type Benchmark struct {
+	// Name is the suite name used in the paper's tables (e.g. "bs").
+	Name string
+	// Program is the linked IR program.
+	Program *program.Program
+	// Inputs are the available input vectors; Inputs[0] is the default.
+	Inputs []program.Input
+	// MultiPath reports whether different inputs exercise different paths.
+	MultiPath bool
+	// WorstKnown reports whether the default input set is known to trigger
+	// the worst-case path (true for bs, cnt, fir, janne and trivially for
+	// single-path benchmarks; false for crc).
+	WorstKnown bool
+}
+
+// Default returns the default input vector.
+func (b *Benchmark) Default() program.Input { return b.Inputs[0] }
+
+// Input returns the input vector with the given name, or an error.
+func (b *Benchmark) Input(name string) (program.Input, error) {
+	for _, in := range b.Inputs {
+		if in.Name == name {
+			return in, nil
+		}
+	}
+	return program.Input{}, fmt.Errorf("malardalen: %s has no input %q", b.Name, name)
+}
+
+// builders registers all benchmark constructors.
+var builders = map[string]func() *Benchmark{
+	"bs":         BS,
+	"cnt":        CNT,
+	"fir":        FIR,
+	"janne":      Janne,
+	"crc":        CRC,
+	"edn":        EDN,
+	"insertsort": InsertSort,
+	"jfdctint":   JFDCTInt,
+	"matmult":    MatMult,
+	"fdct":       FDCT,
+	"ns":         NS,
+}
+
+// Order is the presentation order used by the paper's Table 2.
+var Order = []string{
+	"bs", "cnt", "fir", "janne", "crc",
+	"edn", "insertsort", "jfdctint", "matmult", "fdct", "ns",
+}
+
+// All returns every benchmark, in Table 2 order.
+func All() []*Benchmark {
+	out := make([]*Benchmark, 0, len(Order))
+	for _, n := range Order {
+		out = append(out, builders[n]())
+	}
+	return out
+}
+
+// Get returns a fresh instance of the named benchmark, or an error listing
+// the valid names.
+func Get(name string) (*Benchmark, error) {
+	b, ok := builders[name]
+	if !ok {
+		names := make([]string, 0, len(builders))
+		for n := range builders {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("malardalen: unknown benchmark %q (have %v)", name, names)
+	}
+	return b(), nil
+}
+
+// blk is a terse block constructor used by the benchmark builders.
+func blk(label string, nInstr int, accs []*program.Acc, do func(*program.State)) *program.Block {
+	return &program.Block{Label: label, NInstr: nInstr, Accs: accs, Do: do}
+}
+
+// accs builds an access list.
+func accs(a ...*program.Acc) []*program.Acc { return a }
+
+// counted builds a fixed-bound counted loop running exactly n times, with
+// an optional per-iteration head block.
+func counted(label string, head *program.Block, n int, body program.Node) *program.Loop {
+	return &program.Loop{
+		Label:    label,
+		Head:     head,
+		Bound:    func(*program.State) int { return n },
+		MaxBound: n,
+		Body:     body,
+	}
+}
+
+// ivar returns an access template for stack slot i named after the scalar
+// it models (local variables share the "stack" symbol, like a real frame).
+func ivar(name string, slot int64) *program.Acc {
+	return program.Elem(name, "stack", func(*program.State) int64 { return slot })
+}

@@ -1,0 +1,381 @@
+package malardalen
+
+import (
+	"strings"
+	"testing"
+
+	"pubtac/internal/pub"
+	"pubtac/internal/trace"
+)
+
+func TestAllBenchmarksBuildAndRun(t *testing.T) {
+	bms := All()
+	if len(bms) != 11 {
+		t.Fatalf("got %d benchmarks, want 11", len(bms))
+	}
+	for _, b := range bms {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			if !b.Program.Linked() {
+				t.Fatal("not linked")
+			}
+			if len(b.Inputs) == 0 {
+				t.Fatal("no inputs")
+			}
+			r, err := b.Program.Exec(b.Default())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(r.Trace) < 50 {
+				t.Fatalf("trace suspiciously small: %d accesses", len(r.Trace))
+			}
+			if len(r.Trace) > 500000 {
+				t.Fatalf("trace too large for campaigns: %d accesses", len(r.Trace))
+			}
+			if len(r.Trace.Filter(trace.Instr)) == 0 || len(r.Trace.Filter(trace.Data)) == 0 {
+				t.Fatal("trace missing instruction or data accesses")
+			}
+		})
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+	b, err := Get("bs")
+	if err != nil || b.Name != "bs" {
+		t.Fatalf("Get(bs) = %v, %v", b, err)
+	}
+}
+
+func TestPathClassification(t *testing.T) {
+	want := map[string]struct{ multi, worst bool }{
+		"bs": {true, true}, "cnt": {true, true}, "fir": {true, true},
+		"janne": {true, true}, "crc": {true, false},
+		"edn": {false, true}, "insertsort": {false, true}, "jfdctint": {false, true},
+		"matmult": {false, true}, "fdct": {false, true}, "ns": {false, true},
+	}
+	for _, b := range All() {
+		w := want[b.Name]
+		if b.MultiPath != w.multi || b.WorstKnown != w.worst {
+			t.Errorf("%s: MultiPath=%v WorstKnown=%v, want %v %v",
+				b.Name, b.MultiPath, b.WorstKnown, w.multi, w.worst)
+		}
+	}
+}
+
+func TestBSMaxIterationPaths(t *testing.T) {
+	b := BS()
+	inputs := BSMaxIterationInputs(b)
+	if len(inputs) != 8 {
+		t.Fatalf("max-iteration inputs = %d, want 8", len(inputs))
+	}
+	paths := map[string]bool{}
+	for _, in := range inputs {
+		r := b.Program.MustExec(in)
+		if !strings.Contains(r.Path, "search=w4") {
+			t.Errorf("%s: path %q does not have 4 iterations", in.Name, r.Path)
+		}
+		if r.State.Int("fvalue") == -1 {
+			t.Errorf("%s: key not found", in.Name)
+		}
+		paths[r.Path] = true
+	}
+	if len(paths) != 8 {
+		t.Fatalf("distinct max-iteration paths = %d, want 8", len(paths))
+	}
+}
+
+func TestBSShallowSearches(t *testing.T) {
+	b := BS()
+	// v8 is the root (1-based position 8 = index 7): found in 1 probe.
+	in, err := b.Input("v8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := b.Program.MustExec(in)
+	if !strings.Contains(r.Path, "search=w1") {
+		t.Fatalf("root search path = %q, want 1 iteration", r.Path)
+	}
+	if r.State.Int("fvalue") == -1 {
+		t.Fatal("root key not found")
+	}
+}
+
+func TestBSInputEnumeration(t *testing.T) {
+	b := BS()
+	if len(b.Inputs) != 16 { // default + v1..v15
+		t.Fatalf("inputs = %d, want 16", len(b.Inputs))
+	}
+	if _, err := b.Input("v16"); err == nil {
+		t.Fatal("expected error for unknown input")
+	}
+}
+
+func TestCNTSemantics(t *testing.T) {
+	b := CNT()
+	r := b.Program.MustExec(b.Default())
+	pos, neg := r.State.Int("poscnt"), r.State.Int("negcnt")
+	if pos+neg != cntDim*cntDim {
+		t.Fatalf("poscnt+negcnt = %d, want %d", pos+neg, cntDim*cntDim)
+	}
+	if pos == 0 || neg == 0 {
+		t.Fatal("default input should have both signs")
+	}
+	// allpos input: every element takes the positive branch.
+	in, _ := b.Input("allpos")
+	r = b.Program.MustExec(in)
+	if r.State.Int("poscnt") != cntDim*cntDim || r.State.Int("negcnt") != 0 {
+		t.Fatalf("allpos counts = %d/%d", r.State.Int("poscnt"), r.State.Int("negcnt"))
+	}
+}
+
+func TestCNTPathsDiffer(t *testing.T) {
+	b := CNT()
+	inPos, _ := b.Input("allpos")
+	inNeg, _ := b.Input("allneg")
+	if b.Program.MustExec(inPos).Path == b.Program.MustExec(inNeg).Path {
+		t.Fatal("different sign patterns must take different paths")
+	}
+}
+
+func TestFIRComputesConvolution(t *testing.T) {
+	b := FIR()
+	r := b.Program.MustExec(b.Default())
+	out := r.State.Arr("out")
+	nonzero := 0
+	for _, v := range out {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		t.Fatal("filter produced all-zero output")
+	}
+}
+
+func TestFIRScalePath(t *testing.T) {
+	b := FIR()
+	def := b.Program.MustExec(b.Default())
+	in, _ := b.Input("noscale")
+	ns := b.Program.MustExec(in)
+	if def.Path == ns.Path {
+		t.Fatal("scale and noscale must differ in path")
+	}
+	// The default (scaled) path performs at least as many accesses.
+	if len(def.Trace) < len(ns.Trace) {
+		t.Fatalf("default path (%d) shorter than noscale (%d)",
+			len(def.Trace), len(ns.Trace))
+	}
+}
+
+func TestJanneTerminatesOnAllInputs(t *testing.T) {
+	b := Janne()
+	for _, in := range b.Inputs {
+		r := b.Program.MustExec(in)
+		if r.State.Int("a") < 30 {
+			t.Errorf("%s: outer loop exited early: a=%d", in.Name, r.State.Int("a"))
+		}
+	}
+	// Different inputs, different paths.
+	p1 := b.Program.MustExec(b.Inputs[0]).Path
+	p2 := b.Program.MustExec(b.Inputs[2]).Path
+	if p1 == p2 {
+		t.Fatal("janne paths should differ across inputs")
+	}
+}
+
+func TestCRCDefaultAvoidsWorstPath(t *testing.T) {
+	b := CRC()
+	def := b.Program.MustExec(b.Default())
+	in, _ := b.Input("dense")
+	dense := b.Program.MustExec(in)
+	count := func(p, tok string) int { return strings.Count(p, tok) }
+	defReduce := count(def.Path, "msb=T")
+	denseReduce := count(dense.Path, "msb=T")
+	if defReduce >= denseReduce {
+		t.Fatalf("default input takes the reduce branch %d times, dense %d: "+
+			"default should be far from worst-case", defReduce, denseReduce)
+	}
+	// The dense path must be longer (the reduce branch is heavier).
+	if len(dense.Trace) <= len(def.Trace) {
+		t.Fatalf("dense trace (%d) not longer than default (%d)",
+			len(dense.Trace), len(def.Trace))
+	}
+}
+
+func TestInsertSortSorts(t *testing.T) {
+	b := InsertSort()
+	r := b.Program.MustExec(b.Default())
+	arr := r.State.Arr("a")
+	for i := 1; i < len(arr); i++ {
+		if arr[i-1] > arr[i] {
+			t.Fatalf("not sorted: %v", arr)
+		}
+	}
+}
+
+func TestInsertSortWorstVsBest(t *testing.T) {
+	b := InsertSort()
+	worst := b.Program.MustExec(b.Default())
+	in, _ := b.Input("sorted")
+	best := b.Program.MustExec(in)
+	if len(worst.Trace) <= len(best.Trace) {
+		t.Fatalf("reverse-sorted trace (%d) not longer than sorted (%d)",
+			len(worst.Trace), len(best.Trace))
+	}
+}
+
+func TestMatMultComputesProduct(t *testing.T) {
+	b := MatMult()
+	in := b.Default()
+	r := b.Program.MustExec(in)
+	cOut := r.State.Arr("C")
+	// Check one element against a direct computation.
+	a, bm := in.Arrays["A"], in.Arrays["B"]
+	var want int64
+	for k := 0; k < matDim; k++ {
+		want += a[2*matDim+k] * bm[k*matDim+3]
+	}
+	if cOut[2*matDim+3] != want {
+		t.Fatalf("C[2][3] = %d, want %d", cOut[2*matDim+3], want)
+	}
+}
+
+func TestNSFindsTargetAtEnd(t *testing.T) {
+	b := NS()
+	r := b.Program.MustExec(b.Default())
+	if r.State.Int("found") != 1 {
+		t.Fatal("target not found")
+	}
+	// The target sits in the last cell: the recorded coordinates are all
+	// nsDim-1 and the scan visits every probe.
+	for i, want := range []int64{nsDim - 1, nsDim - 1, nsDim - 1, nsDim - 1} {
+		if got := r.State.Arr("answer")[i]; got != want {
+			t.Fatalf("answer[%d] = %d, want %d", i, got, want)
+		}
+	}
+	// Full scan: the innermost while executes nsDim iterations in every
+	// instance (the final one exits by found, not by bound).
+	if !strings.Contains(r.Path, "lL=w5") {
+		t.Fatalf("path lacks full inner scans: %.120s...", r.Path)
+	}
+}
+
+func TestNSHasNoConditionals(t *testing.T) {
+	// ns's early exit lives in loop conditions, so PUB must be fully
+	// innocuous on it (the paper groups ns with the single-path programs).
+	b := NS()
+	q, rep, err := pub.Transform(b.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Constructs != 0 || rep.InsertedAccesses != 0 {
+		t.Fatalf("PUB not innocuous on ns: %+v", rep)
+	}
+	o := b.Program.MustExec(b.Default())
+	p := q.MustExec(b.Default())
+	if len(o.Trace) != len(p.Trace) {
+		t.Fatalf("pubbed ns trace differs: %d vs %d", len(o.Trace), len(p.Trace))
+	}
+}
+
+func TestSinglePathBenchmarksAreDeterministic(t *testing.T) {
+	for _, name := range []string{"edn", "insertsort", "jfdctint", "matmult", "fdct", "ns"} {
+		b, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1 := b.Program.MustExec(b.Default())
+		r2 := b.Program.MustExec(b.Default())
+		if r1.Path != r2.Path || len(r1.Trace) != len(r2.Trace) {
+			t.Errorf("%s: non-deterministic execution", name)
+		}
+	}
+}
+
+func TestPUBAppliesToAllBenchmarks(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			q, rep, err := pub.Transform(b.Program)
+			if err != nil {
+				t.Fatal(err)
+			}
+			orig := b.Program.MustExec(b.Default())
+			pubd := q.MustExec(b.Default())
+			// PUB only adds accesses: the original data trace is a
+			// subsequence of the pubbed one for the same input.
+			if !orig.Trace.Filter(trace.Data).IsSubsequenceOf(pubd.Trace.Filter(trace.Data)) {
+				t.Fatal("original data trace not contained in pubbed trace")
+			}
+			if len(pubd.Trace) < len(orig.Trace) {
+				t.Fatalf("pubbed trace shorter: %d vs %d", len(pubd.Trace), len(orig.Trace))
+			}
+			if b.MultiPath && rep.Constructs == 0 {
+				t.Fatal("multipath benchmark with no balanced constructs")
+			}
+			// Functional equivalence on a couple of observables.
+			if b.Name == "insertsort" {
+				arr := pubd.State.Arr("a")
+				for i := 1; i < len(arr); i++ {
+					if arr[i-1] > arr[i] {
+						t.Fatalf("pubbed insertsort broke sorting: %v", arr)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestPubbedBSBalanced(t *testing.T) {
+	// All 8 max-iteration paths of pubbed bs must perform the same number
+	// of data accesses (the pubbed program is path-balanced per iteration).
+	b := BS()
+	q, _, err := pub.Transform(b.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counts []int
+	for _, in := range BSMaxIterationInputs(b) {
+		r := q.MustExec(in)
+		counts = append(counts, len(r.Trace.Filter(trace.Data)))
+	}
+	for _, c := range counts[1:] {
+		if c != counts[0] {
+			t.Fatalf("pubbed bs data access counts differ: %v", counts)
+		}
+	}
+}
+
+func TestInputIsolation(t *testing.T) {
+	// Executing must not mutate the shared input arrays (state clones).
+	b := InsertSort()
+	in := b.Default()
+	before := append([]int64(nil), in.Arrays["a"]...)
+	b.Program.MustExec(in)
+	for i, v := range in.Arrays["a"] {
+		if v != before[i] {
+			t.Fatal("execution mutated the input vector")
+		}
+	}
+}
+
+func BenchmarkExecBS(b *testing.B) {
+	bm := BS()
+	in := bm.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bm.Program.MustExec(in)
+	}
+}
+
+func BenchmarkExecMatMult(b *testing.B) {
+	bm := MatMult()
+	in := bm.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bm.Program.MustExec(in)
+	}
+}

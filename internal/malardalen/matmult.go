@@ -1,0 +1,69 @@
+package malardalen
+
+import "pubtac/internal/program"
+
+// matDim is the matrix dimension. The original uses 20x20; 10x10 keeps
+// campaign sizes tractable in simulation while preserving the access
+// structure (row-major A, column-strided B, accumulated C).
+const matDim = 10
+
+// MatMult builds the matrix multiplication benchmark C = A*B with fixed
+// bounds: a triple nested loop, single path.
+func MatMult() *Benchmark {
+	a := &program.Symbol{Name: "A", ElemBytes: 4, Len: matDim * matDim}
+	b := &program.Symbol{Name: "B", ElemBytes: 4, Len: matDim * matDim}
+	c := &program.Symbol{Name: "C", ElemBytes: 4, Len: matDim * matDim}
+	stack := &program.Symbol{Name: "stack", ElemBytes: 4, Len: 4}
+
+	// Stack slots: 0=i 1=j 2=k.
+	inner := counted("kloop", blk("kh", 3, accs(ivar("k", 2)), nil), matDim,
+		blk("maccum", 9, accs(
+			program.Elem("A[i][k]", "A", func(s *program.State) int64 { return s.Int("i")*matDim + s.Int("k") }),
+			program.Elem("B[k][j]", "B", func(s *program.State) int64 { return s.Int("k")*matDim + s.Int("j") }),
+			program.Elem("C[i][j]", "C", func(s *program.State) int64 { return s.Int("i")*matDim + s.Int("j") }),
+		), func(s *program.State) {
+			i, j, k := s.Int("i"), s.Int("j"), s.Int("k")
+			s.Arr("C")[i*matDim+j] += s.Arr("A")[i*matDim+k] * s.Arr("B")[k*matDim+j]
+			s.SetInt("k", k+1)
+		}))
+
+	jLoop := counted("jloop", blk("jh", 3, accs(ivar("j", 1)), nil), matDim,
+		&program.Seq{Nodes: []program.Node{
+			blk("kzero", 2, nil, func(s *program.State) { s.SetInt("k", 0) }),
+			inner,
+			blk("jinc", 2, nil, func(s *program.State) { s.SetInt("j", s.Int("j")+1) }),
+		}})
+
+	iLoop := counted("iloop", blk("ih", 3, accs(ivar("i", 0)), nil), matDim,
+		&program.Seq{Nodes: []program.Node{
+			blk("jzero", 2, nil, func(s *program.State) { s.SetInt("j", 0) }),
+			jLoop,
+			blk("iinc", 2, nil, func(s *program.State) { s.SetInt("i", s.Int("i")+1) }),
+		}})
+
+	p := program.New("matmult", &program.Seq{Nodes: []program.Node{
+		blk("setup", 4, accs(ivar("i", 0)), func(s *program.State) { s.SetInt("i", 0) }),
+		iLoop,
+	}}, a, b, c, stack)
+	p.MustLink()
+
+	fill := func(seed int64) []int64 {
+		m := make([]int64, matDim*matDim)
+		for i := range m {
+			m[i] = (int64(i)*seed)%19 - 9
+		}
+		return m
+	}
+	return &Benchmark{
+		Name:    "matmult",
+		Program: p,
+		Inputs: []program.Input{{
+			Name: "default",
+			Arrays: map[string][]int64{
+				"A": fill(7), "B": fill(13), "C": make([]int64, matDim*matDim),
+			},
+		}},
+		MultiPath:  false,
+		WorstKnown: true,
+	}
+}

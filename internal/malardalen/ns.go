@@ -1,0 +1,111 @@
+package malardalen
+
+import "pubtac/internal/program"
+
+// nsDim is the extent of each of the four dimensions of the search array.
+const nsDim = 5
+
+// NS builds the nested-search benchmark: a search through a 5x5x5x5 array
+// with an early exit when the key is found. The early exit lives in the
+// loop conditions (while not-found), not in a conditional construct, so PUB
+// is innocuous on ns — matching the paper's classification of ns among the
+// single-path benchmarks. The suite's default input places the key in the
+// last cell, so the full 625-probe scan is executed.
+func NS() *Benchmark {
+	arr := &program.Symbol{Name: "keys", ElemBytes: 4, Len: nsDim * nsDim * nsDim * nsDim}
+	ans := &program.Symbol{Name: "answer", ElemBytes: 4, Len: 4}
+	stack := &program.Symbol{Name: "stack", ElemBytes: 4, Len: 8}
+
+	// Stack slots: 0=i 1=j 2=k 3=l 4=found 5=target.
+	flat := func(s *program.State) int64 {
+		return ((s.Int("i")*nsDim+s.Int("j"))*nsDim+s.Int("k"))*nsDim + s.Int("l")
+	}
+
+	probe := blk("probe", 9, accs(
+		program.Elem("keys[ijkl]", "keys", flat),
+		ivar("target", 5),
+		ivar("found", 4),
+	), func(s *program.State) {
+		if s.Arr("keys")[flat(s)] == s.Int("target") {
+			s.SetInt("found", 1)
+		} else {
+			s.SetInt("l", s.Int("l")+1)
+		}
+	})
+
+	// Each level is a while loop: counter in range AND not found.
+	level := func(label, vn string, slot int64, inner program.Node, reset string) *program.While {
+		return &program.While{
+			Label: label,
+			Head:  blk(label+"h", 4, accs(ivar(vn, slot), ivar("found", 4)), nil),
+			Cond: func(s *program.State) bool {
+				return s.Int(vn) < nsDim && s.Int("found") == 0
+			},
+			MaxBound: nsDim,
+			Body: &program.Seq{Nodes: []program.Node{
+				blk(label+"z", 1, nil, func(s *program.State) {
+					if reset != "" {
+						s.SetInt(reset, 0)
+					}
+				}),
+				inner,
+				blk(label+"s", 2, nil, func(s *program.State) {
+					// Advance this level's counter unless the probe level
+					// already advanced it or the key was found.
+					if vn != "l" && s.Int("found") == 0 {
+						s.SetInt(vn, s.Int(vn)+1)
+					}
+				}),
+			}},
+		}
+	}
+
+	lLoop := level("lL", "l", 3, probe, "")
+	kLoop := level("kL", "k", 2, lLoop, "l")
+	jLoop := level("jL", "j", 1, kLoop, "k")
+	iLoop := level("iL", "i", 0, jLoop, "j")
+
+	setup := blk("setup", 5, accs(ivar("found", 4), ivar("target", 5)),
+		func(s *program.State) {
+			s.SetInt("found", 0)
+			s.SetInt("i", 0)
+			s.SetInt("j", 0)
+			s.SetInt("k", 0)
+			s.SetInt("l", 0)
+		})
+
+	record := blk("record", 6, accs(
+		program.At("answer", 0), program.At("answer", 1),
+		program.At("answer", 2), program.At("answer", 3),
+		ivar("found", 4),
+	), func(s *program.State) {
+		if s.Int("found") == 1 {
+			s.Arr("answer")[0] = s.Int("i")
+			s.Arr("answer")[1] = s.Int("j")
+			s.Arr("answer")[2] = s.Int("k")
+			s.Arr("answer")[3] = s.Int("l")
+		}
+	})
+
+	p := program.New("ns", &program.Seq{Nodes: []program.Node{setup, iLoop, record}},
+		arr, ans, stack)
+	p.MustLink()
+
+	n := nsDim * nsDim * nsDim * nsDim
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	return &Benchmark{
+		Name:    "ns",
+		Program: p,
+		Inputs: []program.Input{{
+			Name: "default",
+			// Target = last cell's key: the full scan executes.
+			Ints:   map[string]int64{"target": int64(n - 1)},
+			Arrays: map[string][]int64{"keys": keys, "answer": make([]int64, 4)},
+		}},
+		MultiPath:  false,
+		WorstKnown: true,
+	}
+}

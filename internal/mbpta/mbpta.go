@@ -1,0 +1,257 @@
+// Package mbpta implements measurement-based probabilistic timing analysis:
+// it collects execution-time samples on the randomized platform, checks the
+// statistical admissibility of the sample (i.i.d. battery, exponentiality of
+// the tail), determines the number of runs needed for the estimate to
+// converge, and produces pWCET curves via extreme value theory.
+//
+// The package provides the two run counts the paper distinguishes:
+//
+//   - R_pub (or R_orig): the number of runs MBPTA itself needs for the
+//     pWCET estimate to stabilize (Converge);
+//   - R_pub+tac: the maximum of R_pub and TAC's minimum (the caller takes
+//     the max; see package core).
+package mbpta
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"pubtac/internal/evt"
+	"pubtac/internal/proc"
+	"pubtac/internal/rng"
+	"pubtac/internal/stats"
+	"pubtac/internal/trace"
+)
+
+// Config tunes the analysis. Start from DefaultConfig.
+type Config struct {
+	// InitialRuns is the starting sample size (the MBPTA literature's
+	// conventional minimum is a few hundred runs).
+	InitialRuns int
+	// Increment is the number of runs added per convergence round.
+	Increment int
+	// MaxRuns caps the convergence loop.
+	MaxRuns int
+	// TailCount is the number of maxima used for the exponential tail fit.
+	TailCount int
+	// StabilityEps is the maximum relative change of the probe pWCET
+	// between consecutive rounds for the estimate to count as stable.
+	StabilityEps float64
+	// StabilityProb is the probed exceedance probability for convergence.
+	StabilityProb float64
+	// StableRounds is how many consecutive stable rounds are required.
+	StableRounds int
+	// Alpha is the significance level of the i.i.d. battery.
+	Alpha float64
+	// Workers bounds campaign parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultConfig returns the configuration used throughout the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		InitialRuns:   1000,
+		Increment:     1000,
+		MaxRuns:       300000,
+		TailCount:     10,
+		StabilityEps:  0.02,
+		StabilityProb: 1e-12,
+		StableRounds:  2,
+		Alpha:         0.05,
+		Workers:       0,
+	}
+}
+
+// Collect runs tr n times on the model with seeds derived from root and
+// returns execution times in run order. Runs are distributed over Workers
+// goroutines; the result is identical to a sequential campaign because run i
+// depends only on (root, i).
+func Collect(tr trace.Trace, model proc.Model, n int, root uint64, workers int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	times := make([]float64, n)
+	if workers == 1 {
+		proc.NewEngine(model).CampaignInto(tr, times, root, 0)
+		return times
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			proc.NewEngine(model).CampaignInto(tr, times[lo:hi], root, lo)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return times
+}
+
+// Estimate is a fitted pWCET model plus its diagnostics.
+type Estimate struct {
+	Curve  evt.Curve    // the pWCET curve (exponential tail)
+	Tail   *evt.ExpTail // the underlying fit
+	Sample []float64    // the execution-time sample used
+	IID    stats.IIDReport
+	CV     evt.CVTest
+}
+
+// ErrSampleTooSmall mirrors evt.ErrSampleTooSmall at this layer.
+var ErrSampleTooSmall = errors.New("mbpta: sample too small for a pWCET estimate")
+
+// NewEstimate fits a pWCET model to sample under cfg. The resulting curve
+// is the standard MBPTA composite: empirical ECCDF within the measured
+// range, exponential-tail extrapolation beyond it. The tail threshold is
+// selected by the CV criterion, scanning candidate tail sizes from
+// cfg.TailCount up to a fifth of the sample.
+func NewEstimate(sample []float64, cfg Config) (*Estimate, error) {
+	tail, cv, err := evt.FitExpTailAuto(sample, cfg.TailCount, len(sample)/5)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSampleTooSmall, err)
+	}
+	return &Estimate{
+		Curve:  evt.NewComposite(sample, tail),
+		Tail:   tail,
+		Sample: sample,
+		IID:    stats.CheckIID(sample),
+		CV:     cv,
+	}, nil
+}
+
+// PWCET returns the pWCET estimate at per-run exceedance probability p.
+func (e *Estimate) PWCET(p float64) float64 { return e.Curve.ValueAt(p) }
+
+// Runs returns the sample size behind the estimate.
+func (e *Estimate) Runs() int { return len(e.Sample) }
+
+// Admissible reports whether the sample passed the i.i.d. battery at the
+// given significance level.
+func (e *Estimate) Admissible(alpha float64) bool { return e.IID.Passed(alpha) }
+
+// Convergence is the result of the run-count search.
+type Convergence struct {
+	Runs      int       // runs at convergence (R_pub / R_orig)
+	Rounds    int       // convergence rounds taken
+	Converged bool      // false when MaxRuns was hit first
+	Estimate  *Estimate // estimate at the final sample size
+}
+
+// Converge grows a measurement campaign until the probe pWCET stabilizes:
+// starting from InitialRuns, it adds Increment runs per round and declares
+// convergence after StableRounds consecutive rounds where the pWCET at
+// StabilityProb moves by less than StabilityEps relatively. It returns the
+// run count MBPTA needs on this program — the paper's R_pub (pubbed
+// programs) or R_orig (original programs).
+func Converge(tr trace.Trace, model proc.Model, cfg Config, root uint64) (*Convergence, error) {
+	if cfg.InitialRuns < 20 {
+		return nil, fmt.Errorf("mbpta: InitialRuns %d too small", cfg.InitialRuns)
+	}
+	n := cfg.InitialRuns
+	sample := Collect(tr, model, n, root, cfg.Workers)
+	est, err := NewEstimate(sample, cfg)
+	if err != nil {
+		return nil, err
+	}
+	prev := est.PWCET(cfg.StabilityProb)
+	stable := 0
+	rounds := 0
+	for n < cfg.MaxRuns {
+		// Extend deterministically: the new runs use seeds n..n+inc-1.
+		sample = extend(tr, model, sample, cfg.Increment, root, cfg.Workers)
+		n = len(sample)
+		rounds++
+		est, err = NewEstimate(sample, cfg)
+		if err != nil {
+			return nil, err
+		}
+		cur := est.PWCET(cfg.StabilityProb)
+		if relDiff(cur, prev) <= cfg.StabilityEps {
+			stable++
+			if stable >= cfg.StableRounds {
+				return &Convergence{Runs: n, Rounds: rounds, Converged: true, Estimate: est}, nil
+			}
+		} else {
+			stable = 0
+		}
+		prev = cur
+	}
+	return &Convergence{Runs: n, Rounds: rounds, Converged: false, Estimate: est}, nil
+}
+
+// extend appends inc new runs (seed indices len(sample)..) to sample.
+func extend(tr trace.Trace, model proc.Model, sample []float64, inc int, root uint64, workers int) []float64 {
+	start := len(sample)
+	out := append(sample, make([]float64, inc)...)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > inc {
+		workers = inc
+	}
+	if workers == 1 {
+		proc.NewEngine(model).CampaignInto(tr, out[start:], root, start)
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (inc + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > inc {
+			hi = inc
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			proc.NewEngine(model).CampaignInto(tr, out[start+lo:start+hi], root, start+lo)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+func relDiff(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}
+
+// ECCDF returns the empirical complementary CDF of a sample (convenience
+// re-export used by figure generators).
+func ECCDF(sample []float64) *stats.ECDF { return stats.NewECDF(sample) }
+
+// Seed derives a reproducible campaign root seed from a name, so that
+// experiments identify campaigns by benchmark/input labels.
+func Seed(name string) uint64 {
+	var h uint64 = 1469598103934665603 // FNV-64 offset basis
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return rng.Mix64(h)
+}

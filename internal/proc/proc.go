@@ -1,0 +1,149 @@
+// Package proc models the evaluation platform's processor timing: a
+// pipelined in-order core with separate first-level instruction (IL1) and
+// data (DL1) caches, analogous to the LEON3-class platform of the paper.
+//
+// The model is trace-driven. For an in-order pipeline, execution time is
+// additive in the cache behavior of the access stream: every access costs
+// its hit latency when it hits and the memory latency when it misses; a
+// fixed issue cost accounts for the pipeline's single-cycle throughput.
+// This is exactly the level of detail MBPTA and TAC reason about: the
+// mapping from (placement, replacement) randomness to execution-time
+// variability.
+//
+// Before each run the caches are flushed and reseeded (random placement is
+// parametric per run), matching the paper's measurement protocol.
+package proc
+
+import (
+	"pubtac/internal/cache"
+	"pubtac/internal/rng"
+	"pubtac/internal/trace"
+)
+
+// Latency collects the cycle costs of the timing model.
+type Latency struct {
+	Issue uint64 // fixed per-access pipeline cost
+	Hit   uint64 // additional cycles on an L1 hit
+	Miss  uint64 // additional cycles on an L1 miss (memory access)
+
+	// MissJitter adds a uniformly random 0..MissJitter-1 extra cycles to
+	// every miss, modelling the randomized arbitration/bus jitter of
+	// MBPTA-compliant platforms. Randomized jitter smooths the otherwise
+	// purely discrete miss-count distribution, like the additional
+	// randomization sources of the reference platforms.
+	MissJitter uint64
+}
+
+// DefaultLatency returns the latencies used throughout the evaluation:
+// single-cycle issue and hit, 25-cycle memory access. MissJitter is off by
+// default; the ablation benchmarks exercise it.
+func DefaultLatency() Latency { return Latency{Issue: 0, Hit: 1, Miss: 25} }
+
+// Model describes a full platform configuration.
+type Model struct {
+	IL1 cache.Config
+	DL1 cache.Config
+	Lat Latency
+}
+
+// DefaultModel returns the paper's platform: 4KB 2-way 32B/line IL1 and DL1
+// with random placement and replacement.
+func DefaultModel() Model {
+	return Model{IL1: cache.DefaultL1(), DL1: cache.DefaultL1(), Lat: DefaultLatency()}
+}
+
+// Deterministic returns the same geometry with modulo placement and LRU
+// replacement (the time-deterministic contrast of Section 2).
+func (m Model) Deterministic() Model {
+	m.IL1.Placement = cache.ModuloPlacement
+	m.IL1.Replacement = cache.LRUReplacement
+	m.DL1.Placement = cache.ModuloPlacement
+	m.DL1.Replacement = cache.LRUReplacement
+	return m
+}
+
+// Engine executes traces against one platform instance. It is not safe for
+// concurrent use; create one Engine per goroutine (they are cheap).
+type Engine struct {
+	model  Model
+	il1    *cache.Cache
+	dl1    *cache.Cache
+	jitter *rng.Xoshiro256
+}
+
+// NewEngine builds an execution engine for the model.
+func NewEngine(m Model) *Engine {
+	return &Engine{
+		model:  m,
+		il1:    cache.New(m.IL1, 0),
+		dl1:    cache.New(m.DL1, 1),
+		jitter: rng.New(2),
+	}
+}
+
+// Model returns the engine's platform model.
+func (e *Engine) Model() Model { return e.model }
+
+// IL1 exposes the instruction cache (for pinning in TAC experiments).
+func (e *Engine) IL1() *cache.Cache { return e.il1 }
+
+// DL1 exposes the data cache (for pinning in TAC experiments).
+func (e *Engine) DL1() *cache.Cache { return e.dl1 }
+
+// Run executes tr as one program run with the given seed: caches are
+// flushed, the random placement and replacement streams are redrawn from the
+// seed, and the trace is replayed. It returns the execution time in cycles.
+func (e *Engine) Run(tr trace.Trace, seed uint64) uint64 {
+	e.il1.Reseed(rng.Mix64(seed ^ 0x11))
+	e.dl1.Reseed(rng.Mix64(seed ^ 0xDD))
+	e.jitter = rng.New(rng.Mix64(seed ^ 0x717))
+	return e.Replay(tr)
+}
+
+// Replay replays tr against the current cache state without reseeding or
+// flushing, accumulating cycles. Use Run for whole-program measurements.
+func (e *Engine) Replay(tr trace.Trace) uint64 {
+	lat := e.model.Lat
+	var cycles uint64
+	for _, a := range tr {
+		var hit bool
+		if a.Kind == trace.Instr {
+			hit = e.il1.Access(a.Addr)
+		} else {
+			hit = e.dl1.Access(a.Addr)
+		}
+		cycles += lat.Issue
+		if hit {
+			cycles += lat.Hit
+		} else {
+			cycles += lat.Miss
+			if lat.MissJitter > 0 {
+				cycles += e.jitter.Uint64() % lat.MissJitter
+			}
+		}
+	}
+	return cycles
+}
+
+// Misses returns the IL1 and DL1 miss counts of the last Run.
+func (e *Engine) Misses() (il1, dl1 uint64) { return e.il1.Misses(), e.dl1.Misses() }
+
+// Campaign runs tr n times with seeds derived from root via rng.Stream and
+// returns the execution times in run order. It is the basic measurement
+// campaign primitive; higher layers (mbpta) add convergence logic and
+// parallelism.
+func (e *Engine) Campaign(tr trace.Trace, n int, root uint64) []float64 {
+	times := make([]float64, n)
+	e.CampaignInto(tr, times, root, 0)
+	return times
+}
+
+// CampaignInto fills dst with the execution times of runs offset,
+// offset+1, ... of the campaign rooted at root. Because run i depends only
+// on (root, i), campaigns can be split across engines and goroutines with
+// bit-identical results.
+func (e *Engine) CampaignInto(tr trace.Trace, dst []float64, root uint64, offset int) {
+	for i := range dst {
+		dst[i] = float64(e.Run(tr, rng.Stream(root, offset+i)))
+	}
+}

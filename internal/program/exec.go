@@ -1,0 +1,270 @@
+package program
+
+import (
+	"fmt"
+	"strings"
+
+	"pubtac/internal/trace"
+)
+
+// Pad wraps a node that PUB inserted purely for its cache access pattern.
+// A padded subtree executes "innocuously": its accesses are emitted (that is
+// the whole point — equivalent cache patterns in every branch), but semantic
+// actions are skipped, conditionals take a fixed branch, and loops run their
+// worst-case bound. Deploying the original program never executes Pad nodes;
+// they exist only in the analysis-time pubbed program.
+type Pad struct {
+	Inner Node
+}
+
+func (*Pad) isNode() {}
+
+// Result is the outcome of executing a program on one input.
+type Result struct {
+	Trace trace.Trace // the full memory access sequence, in order
+	Path  string      // path signature: one token per control decision
+	State *State      // final program state (for functional checks)
+}
+
+// execContext carries execution state.
+type execContext struct {
+	p     *Program
+	st    *State
+	tr    trace.Trace
+	path  []string
+	inPad int // >0 while inside a Pad subtree
+}
+
+// Exec runs the program on the given input and returns its access trace and
+// path signature. The program must be linked.
+func (p *Program) Exec(in Input) (Result, error) {
+	if !p.linked {
+		return Result{}, fmt.Errorf("program %s: Exec before Link", p.Name)
+	}
+	ctx := &execContext{p: p, st: in.state()}
+	if err := ctx.exec(p.Root); err != nil {
+		return Result{}, err
+	}
+	return Result{Trace: ctx.tr, Path: strings.Join(ctx.path, "."), State: ctx.st}, nil
+}
+
+// MustExec is Exec but panics on error; for benchmarks known to be valid.
+func (p *Program) MustExec(in Input) Result {
+	r, err := p.Exec(in)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func (c *execContext) exec(n Node) error {
+	switch t := n.(type) {
+	case nil:
+		return nil
+	case *Block:
+		return c.execBlock(t)
+	case *Seq:
+		for _, child := range t.Nodes {
+			if err := c.exec(child); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *If:
+		return c.execIf(t)
+	case *Switch:
+		return c.execSwitch(t)
+	case *Loop:
+		return c.execLoop(t)
+	case *While:
+		return c.execWhile(t)
+	case *Pad:
+		c.inPad++
+		err := c.exec(t.Inner)
+		c.inPad--
+		return err
+	default:
+		return fmt.Errorf("program: unknown node type %T", n)
+	}
+}
+
+func (c *execContext) execBlock(b *Block) error {
+	for i := 0; i < b.NInstr; i++ {
+		c.tr = append(c.tr, trace.Access{Addr: b.Addr + uint64(i*instrBytes), Kind: trace.Instr})
+	}
+	for _, a := range b.Accs {
+		sym := c.p.Symbol(a.Sym)
+		if sym == nil {
+			return fmt.Errorf("program %s: block %q references unknown symbol %q",
+				c.p.Name, b.Label, a.Sym)
+		}
+		var idx int64
+		if a.Index != nil {
+			idx = a.Index(c.st)
+		}
+		c.tr = append(c.tr, trace.Access{Addr: c.p.AddrOf(sym, idx), Kind: trace.Data})
+	}
+	if b.Do != nil && c.inPad == 0 {
+		b.Do(c.st)
+	}
+	return nil
+}
+
+func (c *execContext) execIf(t *If) error {
+	if t.Head != nil {
+		if err := c.execBlock(t.Head); err != nil {
+			return err
+		}
+	}
+	taken := true
+	if c.inPad == 0 {
+		taken = t.Cond(c.st)
+		c.record(t.Label, boolToken(taken))
+	}
+	if taken {
+		return c.exec(t.Then)
+	}
+	return c.exec(t.Else)
+}
+
+func (c *execContext) execSwitch(t *Switch) error {
+	if t.Head != nil {
+		if err := c.execBlock(t.Head); err != nil {
+			return err
+		}
+	}
+	k := 0
+	if c.inPad == 0 {
+		k = t.Selector(c.st)
+		if k < 0 {
+			k = 0
+		}
+		if k >= len(t.Cases) {
+			k = len(t.Cases) - 1
+		}
+		c.record(t.Label, fmt.Sprintf("c%d", k))
+	}
+	if len(t.Cases) == 0 {
+		return nil
+	}
+	return c.exec(t.Cases[k])
+}
+
+func (c *execContext) execLoop(t *Loop) error {
+	bound := t.MaxBound
+	if c.inPad == 0 {
+		bound = t.Bound(c.st)
+		if bound < 0 {
+			bound = 0
+		}
+		if bound > t.MaxBound {
+			bound = t.MaxBound
+		}
+		c.record(t.Label, fmt.Sprintf("x%d", bound))
+	}
+	for i := 0; i < bound; i++ {
+		if t.Head != nil {
+			if err := c.execBlock(t.Head); err != nil {
+				return err
+			}
+		}
+		if err := c.exec(t.Body); err != nil {
+			return err
+		}
+	}
+	// The failing loop test executes the header code once more.
+	if t.Head != nil {
+		return c.execBlock(t.Head)
+	}
+	return nil
+}
+
+func (c *execContext) execWhile(t *While) error {
+	iters := 0
+	for ; iters < t.MaxBound; iters++ {
+		if t.Head != nil {
+			if err := c.execBlock(t.Head); err != nil {
+				return err
+			}
+		}
+		if c.inPad == 0 && !t.Cond(c.st) {
+			break
+		}
+		if err := c.exec(t.Body); err != nil {
+			return err
+		}
+	}
+	if c.inPad == 0 {
+		c.record(t.Label, fmt.Sprintf("w%d", iters))
+	}
+	return nil
+}
+
+func (c *execContext) record(label, tok string) {
+	c.path = append(c.path, label+"="+tok)
+}
+
+func boolToken(b bool) string {
+	if b {
+		return "T"
+	}
+	return "F"
+}
+
+// Clone returns a deep copy of a node tree. Blocks are fresh objects (so a
+// clone re-linked into another program gets its own code addresses — PUB
+// padding is genuinely new code); access templates are shared (they are
+// immutable descriptors).
+func Clone(n Node) Node {
+	switch t := n.(type) {
+	case nil:
+		return nil
+	case *Block:
+		b := *t
+		b.Accs = append([]*Acc(nil), t.Accs...)
+		b.Addr = 0
+		return &b
+	case *Seq:
+		s := &Seq{Nodes: make([]Node, len(t.Nodes))}
+		for i, child := range t.Nodes {
+			s.Nodes[i] = Clone(child)
+		}
+		return s
+	case *If:
+		c := *t
+		c.Head = cloneBlock(t.Head)
+		c.Then = Clone(t.Then)
+		c.Else = Clone(t.Else)
+		return &c
+	case *Switch:
+		c := *t
+		c.Head = cloneBlock(t.Head)
+		c.Cases = make([]Node, len(t.Cases))
+		for i, cs := range t.Cases {
+			c.Cases[i] = Clone(cs)
+		}
+		return &c
+	case *Loop:
+		c := *t
+		c.Head = cloneBlock(t.Head)
+		c.Body = Clone(t.Body)
+		return &c
+	case *While:
+		c := *t
+		c.Head = cloneBlock(t.Head)
+		c.Body = Clone(t.Body)
+		return &c
+	case *Pad:
+		return &Pad{Inner: Clone(t.Inner)}
+	default:
+		panic(fmt.Sprintf("program: unknown node type %T", n))
+	}
+}
+
+func cloneBlock(b *Block) *Block {
+	if b == nil {
+		return nil
+	}
+	n := Clone(b).(*Block)
+	return n
+}

@@ -1,0 +1,129 @@
+package program
+
+import "fmt"
+
+// instrBytes is the size of one instruction (a RISC-style fixed width).
+const instrBytes = 4
+
+// dataAlign is the alignment of data symbols: one cache line, so distinct
+// symbols never share a line (conservative, and the common layout for
+// line-aligned link maps).
+const dataAlign = 32
+
+// Link assigns code addresses to every block (depth-first, declaration
+// order, consecutive) and base addresses to every data symbol. It must be
+// called before Exec, and again after any structural transformation (PUB
+// produces a new Program that is linked independently). Link is idempotent.
+func (p *Program) Link() error {
+	p.blocks = p.blocks[:0]
+	p.collect(p.Root)
+	addr := p.CodeBase
+	for _, b := range p.blocks {
+		if b.NInstr < 0 {
+			return fmt.Errorf("program %s: block %q has negative NInstr", p.Name, b.Label)
+		}
+		b.Addr = addr
+		addr += uint64(b.NInstr) * instrBytes
+	}
+
+	p.symIndex = make(map[string]*Symbol, len(p.Symbols))
+	dataAddr := p.DataBase
+	for _, s := range p.Symbols {
+		if s.ElemBytes <= 0 || s.Len <= 0 {
+			return fmt.Errorf("program %s: symbol %q has invalid geometry %d x %d",
+				p.Name, s.Name, s.Len, s.ElemBytes)
+		}
+		if _, dup := p.symIndex[s.Name]; dup {
+			return fmt.Errorf("program %s: duplicate symbol %q", p.Name, s.Name)
+		}
+		s.Base = dataAddr
+		p.symIndex[s.Name] = s
+		size := uint64(s.ElemBytes * s.Len)
+		dataAddr += (size + dataAlign - 1) / dataAlign * dataAlign
+	}
+	p.linked = true
+	return nil
+}
+
+// MustLink calls Link and panics on error; for use in tests and benchmark
+// constructors where the program is statically known to be valid.
+func (p *Program) MustLink() *Program {
+	if err := p.Link(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// collect gathers blocks in DFS order.
+func (p *Program) collect(n Node) {
+	switch t := n.(type) {
+	case nil:
+	case *Block:
+		p.blocks = append(p.blocks, t)
+	case *Seq:
+		for _, c := range t.Nodes {
+			p.collect(c)
+		}
+	case *If:
+		if t.Head != nil {
+			p.blocks = append(p.blocks, t.Head)
+		}
+		p.collect(t.Then)
+		if t.Else != nil {
+			p.collect(t.Else)
+		}
+	case *Switch:
+		if t.Head != nil {
+			p.blocks = append(p.blocks, t.Head)
+		}
+		for _, c := range t.Cases {
+			p.collect(c)
+		}
+	case *Loop:
+		if t.Head != nil {
+			p.blocks = append(p.blocks, t.Head)
+		}
+		p.collect(t.Body)
+	case *While:
+		if t.Head != nil {
+			p.blocks = append(p.blocks, t.Head)
+		}
+		p.collect(t.Body)
+	case *Pad:
+		p.collect(t.Inner)
+	default:
+		panic(fmt.Sprintf("program: unknown node type %T", n))
+	}
+}
+
+// CodeBytes returns the total code size after linking.
+func (p *Program) CodeBytes() int {
+	var n int
+	for _, b := range p.blocks {
+		n += b.NInstr * instrBytes
+	}
+	return n
+}
+
+// DataBytes returns the total (aligned) data size after linking.
+func (p *Program) DataBytes() int {
+	var n uint64
+	for _, s := range p.Symbols {
+		size := uint64(s.ElemBytes * s.Len)
+		n += (size + dataAlign - 1) / dataAlign * dataAlign
+	}
+	return int(n)
+}
+
+// AddrOf returns the byte address of sym[index], clamping index into the
+// symbol's bounds (this is what makes PUB-inserted loads innocuous and
+// total).
+func (p *Program) AddrOf(sym *Symbol, index int64) uint64 {
+	if index < 0 {
+		index = 0
+	}
+	if index >= int64(sym.Len) {
+		index = int64(sym.Len) - 1
+	}
+	return sym.Base + uint64(index)*uint64(sym.ElemBytes)
+}

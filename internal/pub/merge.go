@@ -1,0 +1,174 @@
+// Package pub implements Path Upper-Bounding (Kosmidis et al., ECRTS 2014)
+// on the program IR: a source-level transformation that inflates every
+// branch of every conditional construct with functionally-innocuous
+// instructions and memory accesses, so that each branch of the transformed
+// ("pubbed") program exhibits an access pattern that upper-bounds the
+// patterns of all branches of the original construct.
+//
+// On a time-randomized cache, inserting an access anywhere in a sequence can
+// only worsen the probabilistic execution time distribution (the key PUB
+// property, see Section 2 of the DAC'18 paper), so every path of the pubbed
+// program probabilistically upper-bounds every path of the original program
+// (Equation 1). The transformation minimizes insertions by merging branch
+// access signatures with a shortest-common-supersequence construction:
+// merging {ABCA} and {BACA} yields a 5-access supersequence such as {ABACA},
+// reproducing the paper's worked example.
+package pub
+
+import (
+	"fmt"
+
+	"pubtac/internal/program"
+)
+
+// itemKind classifies signature items.
+type itemKind uint8
+
+const (
+	instrItem itemKind = iota // one instruction slot of a block
+	dataItem                  // one data-access template occurrence
+	macroItem                 // an opaque subtree (loop, pubbed conditional)
+)
+
+// item is one element of a branch access signature. Items are compared by
+// (kind, id): data items from different branches that reference the same
+// access template (same ID) are "the same address" and get merged;
+// instruction and macro items carry object-unique IDs, so padding for them
+// is always inserted (a branch cannot reuse another branch's code lines —
+// it gets equivalent, freshly-addressed ones).
+//
+// Own items additionally carry provenance: the source block they came from
+// and whether they are that block's last item, so the reconstruction knows
+// where to run the block's semantic action.
+type item struct {
+	kind itemKind
+	id   string
+	acc  *program.Acc // dataItem only
+	node program.Node // macroItem only
+
+	src  *program.Block // source block (instr/data items)
+	last bool           // true for the final item of src
+}
+
+func (a item) equal(b item) bool { return a.kind == b.kind && a.id == b.id }
+
+// flatten decomposes a branch into its item signature. Blocks decompose
+// into one item per instruction slot and per data access; nested
+// conditionals, loops and semantic-only blocks are opaque macro items (the
+// innermost-first recursion of Transform guarantees nested conditionals are
+// already balanced when their parent is processed).
+func flatten(n program.Node) []item {
+	switch t := n.(type) {
+	case nil:
+		return nil
+	case *program.Block:
+		if t.NInstr == 0 && len(t.Accs) == 0 {
+			// Nothing observable in the cache: keep as an opaque unit so
+			// its semantic action survives reconstruction.
+			return []item{{kind: macroItem, id: fmt.Sprintf("%p", t), node: t}}
+		}
+		its := make([]item, 0, t.NInstr+len(t.Accs))
+		for i := 0; i < t.NInstr; i++ {
+			its = append(its, item{kind: instrItem, id: fmt.Sprintf("%p#%d", t, i), src: t})
+		}
+		for _, a := range t.Accs {
+			its = append(its, item{kind: dataItem, id: a.ID, acc: a, src: t})
+		}
+		its[len(its)-1].last = true
+		return its
+	case *program.Seq:
+		var out []item
+		for _, c := range t.Nodes {
+			out = append(out, flatten(c)...)
+		}
+		return out
+	default:
+		// If, Switch, Loop, While, Pad: opaque units.
+		return []item{{kind: macroItem, id: fmt.Sprintf("%p", n), node: n}}
+	}
+}
+
+// maxSCSCells bounds the DP table size; beyond it scs falls back to plain
+// concatenation, which is still a valid (if non-minimal) supersequence.
+const maxSCSCells = 16 << 20
+
+// scs returns a shortest common supersequence of a and b: a minimal-length
+// sequence containing both a and b as subsequences. Built from the classic
+// LCS dynamic program. For pathologically long signatures it falls back to
+// concatenation (correct, not minimal).
+func scs(a, b []item) []item {
+	n, m := len(a), len(b)
+	if n == 0 {
+		return append([]item(nil), b...)
+	}
+	if m == 0 {
+		return append([]item(nil), a...)
+	}
+	if (n+1)*(m+1) > maxSCSCells {
+		out := make([]item, 0, n+m)
+		out = append(out, a...)
+		return append(out, b...)
+	}
+	// lcs[i][j] = LCS length of a[i:], b[j:].
+	lcs := make([][]int32, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int32, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i].equal(b[j]) {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	out := make([]item, 0, n+m-int(lcs[0][0]))
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case a[i].equal(b[j]):
+			out = append(out, a[i])
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// mergeAll folds scs over all branch signatures.
+func mergeAll(branches [][]item) []item {
+	if len(branches) == 0 {
+		return nil
+	}
+	merged := append([]item(nil), branches[0]...)
+	for _, b := range branches[1:] {
+		merged = scs(merged, b)
+	}
+	return merged
+}
+
+// isSubsequence reports whether sub is a subsequence of sup under item
+// equality.
+func isSubsequence(sub, sup []item) bool {
+	i := 0
+	for _, it := range sup {
+		if i == len(sub) {
+			return true
+		}
+		if sub[i].equal(it) {
+			i++
+		}
+	}
+	return i == len(sub)
+}

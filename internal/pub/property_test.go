@@ -1,0 +1,192 @@
+package pub
+
+import (
+	"fmt"
+	"testing"
+
+	"pubtac/internal/program"
+	"pubtac/internal/rng"
+	"pubtac/internal/trace"
+)
+
+// randProgram generates a random program tree with nested conditionals,
+// switches and loops over a shared symbol, for property testing the PUB
+// transform. Control decisions read the input scalars c0..c3.
+type randGen struct {
+	r     *rng.Xoshiro256
+	label int
+	depth int
+}
+
+func (g *randGen) nextLabel(prefix string) string {
+	g.label++
+	return fmt.Sprintf("%s%d", prefix, g.label)
+}
+
+func (g *randGen) block() *program.Block {
+	n := 1 + g.r.Intn(6)
+	var accs []*program.Acc
+	for i := g.r.Intn(4); i > 0; i-- {
+		idx := int64(g.r.Intn(8))
+		accs = append(accs, program.At("m", idx))
+	}
+	return &program.Block{Label: g.nextLabel("b"), NInstr: n, Accs: accs}
+}
+
+func (g *randGen) node() program.Node {
+	g.depth++
+	defer func() { g.depth-- }()
+	if g.depth > 3 {
+		return g.block()
+	}
+	switch g.r.Intn(6) {
+	case 0, 1:
+		return g.block()
+	case 2:
+		return &program.Seq{Nodes: []program.Node{g.node(), g.node()}}
+	case 3:
+		sel := g.r.Intn(4)
+		return &program.If{
+			Label: g.nextLabel("if"),
+			Cond: func(s *program.State) bool {
+				return s.Int(fmt.Sprintf("c%d", sel)) > 0
+			},
+			Then: g.node(),
+			Else: g.maybeNode(),
+		}
+	case 4:
+		sel := g.r.Intn(4)
+		cases := make([]program.Node, 2+g.r.Intn(2))
+		for i := range cases {
+			cases[i] = g.node()
+		}
+		return &program.Switch{
+			Label: g.nextLabel("sw"),
+			Selector: func(s *program.State) int {
+				return int(s.Int(fmt.Sprintf("c%d", sel)))
+			},
+			Cases: cases,
+		}
+	default:
+		bound := 1 + g.r.Intn(3)
+		return &program.Loop{
+			Label:    g.nextLabel("lp"),
+			Bound:    func(*program.State) int { return bound },
+			MaxBound: bound,
+			Body:     g.node(),
+		}
+	}
+}
+
+func (g *randGen) maybeNode() program.Node {
+	if g.r.Intn(3) == 0 {
+		return nil
+	}
+	return g.node()
+}
+
+// inputsOver enumerates a few input vectors over the control scalars.
+func inputsOver() []program.Input {
+	var ins []program.Input
+	for _, c0 := range []int64{0, 1} {
+		for _, c1 := range []int64{0, 1} {
+			for _, c2 := range []int64{0, 2} {
+				ins = append(ins, program.Input{
+					Name: fmt.Sprintf("i%d%d%d", c0, c1, c2),
+					Ints: map[string]int64{"c0": c0, "c1": c1, "c2": c2, "c3": 1},
+					Arrays: map[string][]int64{
+						"m": {1, 2, 3, 4, 5, 6, 7, 8},
+					},
+				})
+			}
+		}
+	}
+	return ins
+}
+
+// TestTransformPropertyRandomPrograms checks, over many random programs,
+// the core PUB invariants:
+//
+//  1. for every input, the original data trace is a subsequence of the
+//     pubbed data trace (only insertions happened, order preserved);
+//  2. the pubbed trace is never shorter than the original trace;
+//  3. data access patterns coincide across all paths of the pubbed program
+//     at equal loop bounds (full balance).
+func TestTransformPropertyRandomPrograms(t *testing.T) {
+	const trials = 60
+	inputs := inputsOver()
+	for trial := 0; trial < trials; trial++ {
+		g := &randGen{r: rng.New(uint64(1000 + trial))}
+		sym := &program.Symbol{Name: "m", ElemBytes: 32, Len: 8}
+		p := program.New(fmt.Sprintf("rand%d", trial), g.node(), sym)
+		if err := p.Link(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		q, _, err := Transform(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		var dataLens []int
+		for _, in := range inputs {
+			orig, err := p.Exec(in)
+			if err != nil {
+				t.Fatalf("trial %d input %s: %v", trial, in.Name, err)
+			}
+			pubd, err := q.Exec(in)
+			if err != nil {
+				t.Fatalf("trial %d input %s (pubbed): %v", trial, in.Name, err)
+			}
+			od := orig.Trace.Filter(trace.Data)
+			pd := pubd.Trace.Filter(trace.Data)
+			if !od.IsSubsequenceOf(pd) {
+				t.Fatalf("trial %d input %s: original data trace not a subsequence\norig: %v\npub:  %v",
+					trial, in.Name, od, pd)
+			}
+			if len(pubd.Trace) < len(orig.Trace) {
+				t.Fatalf("trial %d input %s: pubbed trace shorter", trial, in.Name)
+			}
+			dataLens = append(dataLens, len(pd))
+		}
+		// All counted loops have fixed bounds in this generator, so every
+		// path of the pubbed program performs the same number of data
+		// accesses.
+		for _, l := range dataLens[1:] {
+			if l != dataLens[0] {
+				t.Fatalf("trial %d: pubbed data access counts differ across paths: %v",
+					trial, dataLens)
+			}
+		}
+	}
+}
+
+// TestTransformPropertyCrossPathDominance verifies the cross-branch
+// requirement on a sample of random programs: the data trace of ANY
+// original path is a subsequence of the pubbed trace of ANY OTHER path
+// (at the template level this is what Equation 1 needs; with fixed-index
+// templates it holds at the address level too).
+func TestTransformPropertyCrossPathDominance(t *testing.T) {
+	const trials = 25
+	inputs := inputsOver()
+	for trial := 0; trial < trials; trial++ {
+		g := &randGen{r: rng.New(uint64(9000 + trial))}
+		sym := &program.Symbol{Name: "m", ElemBytes: 32, Len: 8}
+		p := program.New(fmt.Sprintf("xrand%d", trial), g.node(), sym)
+		if err := p.Link(); err != nil {
+			t.Fatal(err)
+		}
+		q, _, err := Transform(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, inOrig := range inputs[:4] {
+			od := p.MustExec(inOrig).Trace.Filter(trace.Data)
+			for _, inPub := range inputs[:4] {
+				pd := q.MustExec(inPub).Trace.Filter(trace.Data)
+				if !od.IsSubsequenceOf(pd) {
+					t.Fatalf("trial %d: orig path %s not covered by pubbed path %s\norig: %v\npub:  %v",
+						trial, inOrig.Name, inPub.Name, od, pd)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,458 @@
+package pub
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"pubtac/internal/program"
+	"pubtac/internal/rng"
+	"pubtac/internal/trace"
+)
+
+// dataItems builds a data-item signature from letters, mapping each letter
+// to an access template with that ID (the paper's {ABCA} notation).
+func dataItems(s string) []item {
+	out := make([]item, 0, len(s))
+	for _, r := range s {
+		id := string(r)
+		out = append(out, item{kind: dataItem, id: id, acc: &program.Acc{ID: id, Sym: "m"}})
+	}
+	return out
+}
+
+func ids(items []item) string {
+	var s string
+	for _, it := range items {
+		s += it.id
+	}
+	return s
+}
+
+func TestSCSPaperExample(t *testing.T) {
+	// Section 2: merging M_if={ABCA} and M_else={BACA} must yield a
+	// 5-access supersequence (e.g. {ABACA}).
+	a, b := dataItems("ABCA"), dataItems("BACA")
+	m := scs(a, b)
+	if len(m) != 5 {
+		t.Fatalf("SCS length = %d (%s), want 5", len(m), ids(m))
+	}
+	if !isSubsequence(a, m) || !isSubsequence(b, m) {
+		t.Fatalf("SCS %s is not a common supersequence", ids(m))
+	}
+}
+
+func TestSCSIdenticalSequences(t *testing.T) {
+	a := dataItems("ABCD")
+	m := scs(a, dataItems("ABCD"))
+	if len(m) != 4 {
+		t.Fatalf("SCS of identical sequences has length %d, want 4", len(m))
+	}
+}
+
+func TestSCSDisjointSequences(t *testing.T) {
+	m := scs(dataItems("AB"), dataItems("CD"))
+	if len(m) != 4 {
+		t.Fatalf("SCS of disjoint sequences has length %d, want 4", len(m))
+	}
+}
+
+func TestSCSEmpty(t *testing.T) {
+	if got := scs(nil, dataItems("AB")); len(got) != 2 {
+		t.Fatalf("SCS(empty, AB) = %s", ids(got))
+	}
+	if got := scs(dataItems("AB"), nil); len(got) != 2 {
+		t.Fatalf("SCS(AB, empty) = %s", ids(got))
+	}
+}
+
+func TestSCSSection31Example(t *testing.T) {
+	// Section 3.1.1: M1={ABCA}, M2={ADEA}; PUB minimizes insertions, a
+	// valid minimal merge is {ABCDEA} (6 accesses).
+	m := scs(dataItems("ABCA"), dataItems("ADEA"))
+	if len(m) != 6 {
+		t.Fatalf("SCS length = %d (%s), want 6", len(m), ids(m))
+	}
+}
+
+func TestSCSPropertySupersequence(t *testing.T) {
+	gen := rng.New(42)
+	f := func(aRaw, bRaw uint32) bool {
+		mk := func(raw uint32) []item {
+			n := int(raw % 12)
+			s := ""
+			for i := 0; i < n; i++ {
+				s += string(rune('A' + gen.Intn(5)))
+			}
+			return dataItems(s)
+		}
+		a, b := mk(aRaw), mk(bRaw)
+		m := scs(a, b)
+		if !isSubsequence(a, m) || !isSubsequence(b, m) {
+			return false
+		}
+		// Minimality lower bound: |SCS| >= max(|a|,|b|).
+		lim := len(a)
+		if len(b) > lim {
+			lim = len(b)
+		}
+		return len(m) >= lim && len(m) <= len(a)+len(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeAllThreeBranches(t *testing.T) {
+	m := mergeAll([][]item{dataItems("AB"), dataItems("BC"), dataItems("CA")})
+	for _, s := range []string{"AB", "BC", "CA"} {
+		if !isSubsequence(dataItems(s), m) {
+			t.Fatalf("merged %s does not contain %s", ids(m), s)
+		}
+	}
+}
+
+// branchProgram builds: if (x>0) { then: 3 instr, accs from thenIDs }
+// else { else: 2 instr, accs from elseIDs }; all accesses target fixed
+// elements of array m so both paths resolve to the same addresses.
+func branchProgram(thenIDs, elseIDs string) *program.Program {
+	sym := &program.Symbol{Name: "m", ElemBytes: 32, Len: 26}
+	mk := func(idsStr string) []*program.Acc {
+		var accs []*program.Acc
+		for _, r := range idsStr {
+			i := int64(r - 'A')
+			accs = append(accs, program.Elem(string(r), "m",
+				func(*program.State) int64 { return i }))
+		}
+		return accs
+	}
+	root := &program.If{
+		Label: "if1",
+		Head:  &program.Block{Label: "head", NInstr: 2},
+		Cond:  func(s *program.State) bool { return s.Int("x") > 0 },
+		Then:  &program.Block{Label: "then", NInstr: 3, Accs: mk(thenIDs)},
+		Else:  &program.Block{Label: "else", NInstr: 2, Accs: mk(elseIDs)},
+	}
+	return program.New("branchy", root, sym).MustLink()
+}
+
+func dataAddrs(tr trace.Trace) []uint64 {
+	var out []uint64
+	for _, a := range tr.Filter(trace.Data) {
+		out = append(out, a.Addr)
+	}
+	return out
+}
+
+func TestTransformBalancesDataPatterns(t *testing.T) {
+	p := branchProgram("ABCA", "BACA")
+	q, rep, err := Transform(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Constructs != 1 {
+		t.Fatalf("constructs = %d", rep.Constructs)
+	}
+	thenRun := q.MustExec(program.Input{Ints: map[string]int64{"x": 1}})
+	elseRun := q.MustExec(program.Input{Ints: map[string]int64{"x": -1}})
+
+	dThen, dElse := dataAddrs(thenRun.Trace), dataAddrs(elseRun.Trace)
+	if len(dThen) != 5 || len(dElse) != 5 {
+		t.Fatalf("balanced data accesses = %d/%d, want 5/5 (SCS of ABCA/BACA)",
+			len(dThen), len(dElse))
+	}
+	for i := range dThen {
+		if dThen[i] != dElse[i] {
+			t.Fatalf("data patterns diverge at %d: %#x vs %#x", i, dThen[i], dElse[i])
+		}
+	}
+}
+
+func TestTransformOriginalIsDataSubsequence(t *testing.T) {
+	p := branchProgram("ABCA", "BACA")
+	q, _, err := Transform(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []int64{1, -1} {
+		in := program.Input{Ints: map[string]int64{"x": x}}
+		orig := p.MustExec(in).Trace.Filter(trace.Data)
+		pubd := q.MustExec(in).Trace.Filter(trace.Data)
+		if !orig.IsSubsequenceOf(pubd) {
+			t.Fatalf("x=%d: original data trace %v not a subsequence of pubbed %v",
+				x, orig, pubd)
+		}
+	}
+}
+
+func TestTransformBalancesInstructionCounts(t *testing.T) {
+	p := branchProgram("AB", "CDE")
+	q, _, err := Transform(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thenRun := q.MustExec(program.Input{Ints: map[string]int64{"x": 1}})
+	elseRun := q.MustExec(program.Input{Ints: map[string]int64{"x": -1}})
+	nThen := len(thenRun.Trace.Filter(trace.Instr))
+	nElse := len(elseRun.Trace.Filter(trace.Instr))
+	// Each pubbed branch executes all merged instruction slots (3 own + 2
+	// foreign = 5) plus one innocuous-load instruction per inserted data
+	// access (then inherits C,D,E: +3; else inherits A,B: +2), plus the
+	// 2-instruction head. Pubbed branches need not be identical — only
+	// mutually upper-bounding (paper, Observations 4-5).
+	if nThen != 10 {
+		t.Fatalf("then instruction count = %d, want 10", nThen)
+	}
+	if nElse != 9 {
+		t.Fatalf("else instruction count = %d, want 9", nElse)
+	}
+	// Both must cover every original branch's instruction count (head 2 +
+	// max(3, 2) own instructions).
+	for _, n := range []int{nThen, nElse} {
+		if n < 5 {
+			t.Fatalf("pubbed branch has fewer instructions (%d) than an original branch", n)
+		}
+	}
+}
+
+func TestTransformIfWithoutElse(t *testing.T) {
+	sym := &program.Symbol{Name: "m", ElemBytes: 32, Len: 26}
+	root := &program.If{
+		Label: "opt",
+		Cond:  func(s *program.State) bool { return s.Int("x") > 0 },
+		Then: &program.Block{Label: "then", NInstr: 4,
+			Accs: []*program.Acc{program.At("m", 0), program.At("m", 1)}},
+	}
+	p := program.New("no-else", root, sym).MustLink()
+	q, rep, err := Transform(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	taken := q.MustExec(program.Input{Ints: map[string]int64{"x": 1}})
+	skipped := q.MustExec(program.Input{Ints: map[string]int64{"x": -1}})
+	// The not-taken path becomes pure padding: it performs the same data
+	// accesses (as innocuous loads, each costing one extra instruction), so
+	// its trace is at least as long as the taken path's.
+	if len(skipped.Trace) < len(taken.Trace) {
+		t.Fatalf("padding path shorter than real path: %d vs %d",
+			len(skipped.Trace), len(taken.Trace))
+	}
+	got, want := dataAddrs(skipped.Trace), dataAddrs(taken.Trace)
+	if len(got) != len(want) || len(got) != 2 {
+		t.Fatalf("not-taken path missing innocuous accesses: %v vs %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("data patterns diverge: %v vs %v", got, want)
+		}
+	}
+	if rep.InsertedAccesses != 2 {
+		t.Fatalf("inserted accesses = %d, want 2", rep.InsertedAccesses)
+	}
+}
+
+func TestTransformPreservesSemantics(t *testing.T) {
+	// The pubbed program must compute the same result as the original on
+	// every path: padding is innocuous.
+	sym := &program.Symbol{Name: "m", ElemBytes: 4, Len: 4}
+	var got int64
+	mkRoot := func() program.Node {
+		return &program.Seq{Nodes: []program.Node{
+			&program.If{
+				Label: "if1",
+				Cond:  func(s *program.State) bool { return s.Int("x") > 0 },
+				Then: &program.Block{Label: "t", NInstr: 1, Accs: []*program.Acc{program.At("m", 0)},
+					Do: func(s *program.State) { s.SetInt("r", s.Int("x")*2) }},
+				Else: &program.Block{Label: "e", NInstr: 1, Accs: []*program.Acc{program.At("m", 1)},
+					Do: func(s *program.State) { s.SetInt("r", -s.Int("x")) }},
+			},
+			&program.Block{Label: "out", NInstr: 1,
+				Do: func(s *program.State) { got = s.Int("r") }},
+		}}
+	}
+	p := program.New("sem", mkRoot(), sym).MustLink()
+	q, _, err := Transform(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []int64{5, -3} {
+		in := program.Input{Ints: map[string]int64{"x": x}}
+		p.MustExec(in)
+		wantR := got
+		q.MustExec(in)
+		if got != wantR {
+			t.Fatalf("x=%d: pubbed result %d != original %d", x, got, wantR)
+		}
+	}
+}
+
+func TestTransformNestedConditionals(t *testing.T) {
+	sym := &program.Symbol{Name: "m", ElemBytes: 32, Len: 26}
+	inner := &program.If{
+		Label: "inner",
+		Cond:  func(s *program.State) bool { return s.Int("y") > 0 },
+		Then:  &program.Block{Label: "it", NInstr: 2, Accs: []*program.Acc{program.At("m", 2)}},
+		Else:  &program.Block{Label: "ie", NInstr: 2, Accs: []*program.Acc{program.At("m", 3)}},
+	}
+	root := &program.If{
+		Label: "outer",
+		Cond:  func(s *program.State) bool { return s.Int("x") > 0 },
+		Then:  &program.Seq{Nodes: []program.Node{&program.Block{Label: "ot", NInstr: 1}, inner}},
+		Else:  &program.Block{Label: "oe", NInstr: 3, Accs: []*program.Acc{program.At("m", 4)}},
+	}
+	p := program.New("nested", root, sym).MustLink()
+	q, rep, err := Transform(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Constructs != 2 {
+		t.Fatalf("constructs = %d, want 2", rep.Constructs)
+	}
+	// All four paths of the pubbed program must perform the same data
+	// access pattern (full balance, inner construct included); instruction
+	// counts may differ slightly across branches (innocuous-load slots).
+	var patterns [][]uint64
+	for _, x := range []int64{1, -1} {
+		for _, y := range []int64{1, -1} {
+			r := q.MustExec(program.Input{Ints: map[string]int64{"x": x, "y": y}})
+			patterns = append(patterns, dataAddrs(r.Trace))
+		}
+	}
+	for _, pat := range patterns[1:] {
+		if len(pat) != len(patterns[0]) {
+			t.Fatalf("path data patterns differ in length: %v", patterns)
+		}
+		for i := range pat {
+			if pat[i] != patterns[0][i] {
+				t.Fatalf("path data patterns diverge: %v", patterns)
+			}
+		}
+	}
+}
+
+func TestTransformBranchWithLoop(t *testing.T) {
+	// A loop inside one branch becomes worst-case padding in the other.
+	sym := &program.Symbol{Name: "m", ElemBytes: 32, Len: 26}
+	root := &program.If{
+		Label: "ifloop",
+		Cond:  func(s *program.State) bool { return s.Int("x") > 0 },
+		Then: &program.Loop{
+			Label:    "l",
+			Bound:    func(s *program.State) int { return int(s.Int("n")) },
+			MaxBound: 5,
+			Body:     &program.Block{Label: "lb", NInstr: 2, Accs: []*program.Acc{program.At("m", 7)}},
+		},
+		Else: &program.Block{Label: "e", NInstr: 1},
+	}
+	p := program.New("ifloop", root, sym).MustLink()
+	q, rep, err := Transform(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.InsertedSubtrees != 1 {
+		t.Fatalf("inserted subtrees = %d, want 1", rep.InsertedSubtrees)
+	}
+	// Else path: padding loop runs MaxBound=5 iterations regardless of n.
+	elseRun := q.MustExec(program.Input{Ints: map[string]int64{"x": -1, "n": 2}})
+	if got := len(dataAddrs(elseRun.Trace)); got != 5 {
+		t.Fatalf("else-path innocuous loop accesses = %d, want 5", got)
+	}
+	// Then path with n=5 (max bound input): at least as many accesses.
+	thenRun := q.MustExec(program.Input{Ints: map[string]int64{"x": 1, "n": 5}})
+	if len(thenRun.Trace) != len(elseRun.Trace) {
+		t.Fatalf("max-bound paths unbalanced: %d vs %d",
+			len(thenRun.Trace), len(elseRun.Trace))
+	}
+}
+
+func TestTransformSwitch(t *testing.T) {
+	sym := &program.Symbol{Name: "m", ElemBytes: 32, Len: 26}
+	mkCase := func(label string, n int, idx int64) program.Node {
+		return &program.Block{Label: label, NInstr: n,
+			Accs: []*program.Acc{program.At("m", idx)}}
+	}
+	root := &program.Switch{
+		Label:    "sw",
+		Selector: func(s *program.State) int { return int(s.Int("k")) },
+		Cases:    []program.Node{mkCase("c0", 1, 0), mkCase("c1", 2, 1), mkCase("c2", 3, 2)},
+	}
+	p := program.New("switchy", root, sym).MustLink()
+	q, _, err := Transform(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lengths []int
+	for k := int64(0); k < 3; k++ {
+		r := q.MustExec(program.Input{Ints: map[string]int64{"k": k}})
+		lengths = append(lengths, len(r.Trace))
+	}
+	for _, l := range lengths[1:] {
+		if l != lengths[0] {
+			t.Fatalf("switch cases unbalanced: %v", lengths)
+		}
+	}
+}
+
+func TestTransformDoesNotModifyOriginal(t *testing.T) {
+	p := branchProgram("ABCA", "BACA")
+	before := p.MustExec(program.Input{Ints: map[string]int64{"x": 1}})
+	_, _, err := Transform(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := p.MustExec(program.Input{Ints: map[string]int64{"x": 1}})
+	if len(before.Trace) != len(after.Trace) || before.Path != after.Path {
+		t.Fatal("Transform modified the original program")
+	}
+}
+
+func TestTransformCodeGrowth(t *testing.T) {
+	p := branchProgram("ABCA", "BACA")
+	_, rep, err := Transform(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CodeGrowth() <= 1 {
+		t.Fatalf("code growth = %v, want > 1", rep.CodeGrowth())
+	}
+	if rep.OrigCodeBytes != (2+3+2)*4 {
+		t.Fatalf("orig code bytes = %d", rep.OrigCodeBytes)
+	}
+}
+
+func TestTransformIdempotentPattern(t *testing.T) {
+	// Transforming an already-pubbed program must not change the balanced
+	// access pattern lengths (it may rebuild structure, but branches are
+	// already equivalent, so no data access is inserted).
+	p := branchProgram("ABCA", "BACA")
+	q, _, err := Transform(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, rep2, err := Transform(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := q.MustExec(program.Input{Ints: map[string]int64{"x": 1}})
+	b := q2.MustExec(program.Input{Ints: map[string]int64{"x": 1}})
+	if len(dataAddrs(a.Trace)) != len(dataAddrs(b.Trace)) {
+		t.Fatalf("re-pubbing changed data pattern: %d vs %d (report %+v)",
+			len(dataAddrs(a.Trace)), len(dataAddrs(b.Trace)), rep2)
+	}
+}
+
+func TestPaddingLabelsUnique(t *testing.T) {
+	p := branchProgram("ABC", "DEF")
+	q, _, err := Transform(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, b := range q.Blocks() {
+		key := fmt.Sprintf("%s@%x", b.Label, b.Addr)
+		if seen[key] {
+			t.Fatalf("duplicate block %s", key)
+		}
+		seen[key] = true
+	}
+}

@@ -1,0 +1,129 @@
+package stats
+
+import "math"
+
+// Special functions needed by the hypothesis tests: the regularized
+// incomplete gamma function (for chi-square tail probabilities) and the
+// Kolmogorov distribution. Implementations follow the classic Numerical
+// Recipes formulations using only math primitives.
+
+// GammaRegLower returns the regularized lower incomplete gamma function
+// P(a, x) = gamma(a, x) / Gamma(a) for a > 0, x >= 0.
+func GammaRegLower(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 0
+	}
+	if x < a+1 {
+		return gammaSeries(a, x)
+	}
+	return 1 - gammaContinuedFraction(a, x)
+}
+
+// GammaRegUpper returns the regularized upper incomplete gamma function
+// Q(a, x) = 1 - P(a, x).
+func GammaRegUpper(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - gammaSeries(a, x)
+	}
+	return gammaContinuedFraction(a, x)
+}
+
+// gammaSeries evaluates P(a,x) by its series representation (x < a+1).
+func gammaSeries(a, x float64) float64 {
+	const itmax = 500
+	const eps = 3e-14
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for i := 0; i < itmax; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaContinuedFraction evaluates Q(a,x) by continued fraction (x >= a+1).
+func gammaContinuedFraction(a, x float64) float64 {
+	const itmax = 500
+	const eps = 3e-14
+	const fpmin = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / fpmin
+	d := 1 / b
+	h := d
+	for i := 1; i <= itmax; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = b + an/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// ChiSquareSurvival returns P[X > x] for a chi-square distribution with k
+// degrees of freedom.
+func ChiSquareSurvival(x float64, k int) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return GammaRegUpper(float64(k)/2, x/2)
+}
+
+// NormalCDF returns the standard normal cumulative distribution at z.
+func NormalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// KolmogorovSurvival returns the asymptotic survival function of the
+// Kolmogorov distribution, Q_KS(lambda) = 2 * sum_{j>=1} (-1)^{j-1}
+// exp(-2 j^2 lambda^2), clamped to [0, 1].
+func KolmogorovSurvival(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	var sum float64
+	sign := 1.0
+	for j := 1; j <= 100; j++ {
+		term := math.Exp(-2 * float64(j*j) * lambda * lambda)
+		sum += sign * term
+		if term < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	q := 2 * sum
+	if q < 0 {
+		return 0
+	}
+	if q > 1 {
+		return 1
+	}
+	return q
+}

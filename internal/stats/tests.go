@@ -1,0 +1,138 @@
+package stats
+
+import "math"
+
+// Hypothesis tests used by MBPTA to validate the statistical assumptions on
+// execution-time samples before applying extreme value theory:
+//
+//   - independence: Wald-Wolfowitz runs test and Ljung-Box portmanteau test;
+//   - identical distribution: two-sample Kolmogorov-Smirnov test between the
+//     two halves of the sample.
+//
+// All tests return a TestResult with the statistic and an asymptotic
+// p-value; the caller compares the p-value against a significance level
+// (MBPTA conventionally uses 0.05).
+
+// TestResult carries the outcome of a hypothesis test.
+type TestResult struct {
+	Name      string  // test identifier
+	Statistic float64 // test statistic value
+	PValue    float64 // asymptotic p-value
+}
+
+// Passed reports whether the null hypothesis is NOT rejected at significance
+// level alpha (i.e. the sample is compatible with the assumption tested).
+func (r TestResult) Passed(alpha float64) bool { return r.PValue >= alpha }
+
+// RunsTest performs the Wald-Wolfowitz runs test for randomness on xs,
+// dichotomizing the series around its median. Values equal to the median are
+// discarded, per the standard formulation. The null hypothesis is that the
+// sequence is random (independent).
+func RunsTest(xs []float64) TestResult {
+	med := Median(xs)
+	var signs []bool
+	for _, x := range xs {
+		if x == med {
+			continue
+		}
+		signs = append(signs, x > med)
+	}
+	n := len(signs)
+	if n < 2 {
+		return TestResult{Name: "runs", Statistic: 0, PValue: 1}
+	}
+	var n1, n2 int
+	runs := 1
+	for i, s := range signs {
+		if s {
+			n1++
+		} else {
+			n2++
+		}
+		if i > 0 && signs[i] != signs[i-1] {
+			runs++
+		}
+	}
+	if n1 == 0 || n2 == 0 {
+		return TestResult{Name: "runs", Statistic: 0, PValue: 1}
+	}
+	f1, f2 := float64(n1), float64(n2)
+	mean := 2*f1*f2/(f1+f2) + 1
+	variance := 2 * f1 * f2 * (2*f1*f2 - f1 - f2) /
+		((f1 + f2) * (f1 + f2) * (f1 + f2 - 1))
+	if variance <= 0 {
+		return TestResult{Name: "runs", Statistic: 0, PValue: 1}
+	}
+	z := (float64(runs) - mean) / math.Sqrt(variance)
+	p := 2 * (1 - NormalCDF(math.Abs(z)))
+	return TestResult{Name: "runs", Statistic: z, PValue: p}
+}
+
+// LjungBox performs the Ljung-Box portmanteau test on xs with the given
+// number of lags. The null hypothesis is absence of autocorrelation up to
+// that lag.
+func LjungBox(xs []float64, lags int) TestResult {
+	n := len(xs)
+	if lags < 1 || n <= lags+1 {
+		return TestResult{Name: "ljung-box", Statistic: 0, PValue: 1}
+	}
+	var q float64
+	for k := 1; k <= lags; k++ {
+		r := Autocorrelation(xs, k)
+		q += r * r / float64(n-k)
+	}
+	q *= float64(n) * (float64(n) + 2)
+	p := ChiSquareSurvival(q, lags)
+	return TestResult{Name: "ljung-box", Statistic: q, PValue: p}
+}
+
+// KSTwoSample performs the two-sample Kolmogorov-Smirnov test between a and
+// b. The null hypothesis is that both samples come from the same
+// distribution.
+func KSTwoSample(a, b []float64) TestResult {
+	if len(a) == 0 || len(b) == 0 {
+		return TestResult{Name: "ks-2sample", Statistic: 0, PValue: 1}
+	}
+	d := NewECDF(a).KSStatistic(NewECDF(b))
+	n1, n2 := float64(len(a)), float64(len(b))
+	ne := n1 * n2 / (n1 + n2)
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	return TestResult{Name: "ks-2sample", Statistic: d, PValue: KolmogorovSurvival(lambda)}
+}
+
+// IdenticalDistribution splits xs in two halves and applies the two-sample
+// KS test between them, the standard MBPTA check for identically distributed
+// measurements.
+func IdenticalDistribution(xs []float64) TestResult {
+	if len(xs) < 4 {
+		return TestResult{Name: "ks-2sample", Statistic: 0, PValue: 1}
+	}
+	half := len(xs) / 2
+	return KSTwoSample(xs[:half], xs[half:])
+}
+
+// IIDReport aggregates the three standard MBPTA admissibility checks.
+type IIDReport struct {
+	Runs      TestResult
+	LjungBox  TestResult
+	Identical TestResult
+}
+
+// CheckIID runs the full i.i.d. battery on xs with the conventional 20 lags
+// for Ljung-Box (or n/4 for short samples).
+func CheckIID(xs []float64) IIDReport {
+	lags := 20
+	if len(xs)/4 < lags {
+		lags = len(xs) / 4
+	}
+	return IIDReport{
+		Runs:      RunsTest(xs),
+		LjungBox:  LjungBox(xs, lags),
+		Identical: IdenticalDistribution(xs),
+	}
+}
+
+// Passed reports whether all three checks pass at significance alpha.
+func (r IIDReport) Passed(alpha float64) bool {
+	return r.Runs.Passed(alpha) && r.LjungBox.Passed(alpha) && r.Identical.Passed(alpha)
+}

@@ -1,0 +1,100 @@
+// Package textplot renders ECCDF/pWCET curves as ASCII plots with a
+// logarithmic probability axis, the visual language of every figure in the
+// MBPTA literature. It keeps the repository's figures inspectable in a
+// terminal without plotting dependencies.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"pubtac/internal/stats"
+)
+
+// Series is one labeled curve.
+type Series struct {
+	Name   string
+	Points []stats.ECCDFPoint
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&', '1', '2', '3', '4', '5', '6', '7', '8'}
+
+// ECCDF renders the series on a width x height grid: x = execution time
+// (linear), y = exceedance probability (log10, decades). Points with zero
+// probability are clamped to the bottom decade.
+func ECCDF(series []Series, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 6 {
+		height = 6
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minLogP := 0.0
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p.Value < minX {
+				minX = p.Value
+			}
+			if p.Value > maxX {
+				maxX = p.Value
+			}
+			if p.Prob > 0 {
+				if lp := math.Log10(p.Prob); lp < minLogP {
+					minLogP = lp
+				}
+			}
+		}
+	}
+	if math.IsInf(minX, 1) || minX == maxX {
+		return "(empty plot)\n"
+	}
+	if minLogP > -1 {
+		minLogP = -1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for _, p := range s.Points {
+			x := int(float64(width-1) * (p.Value - minX) / (maxX - minX))
+			lp := minLogP
+			if p.Prob > 0 {
+				lp = math.Log10(p.Prob)
+			}
+			y := int(float64(height-1) * lp / minLogP) // 0 at top (p=1)
+			if y < 0 {
+				y = 0
+			}
+			if y >= height {
+				y = height - 1
+			}
+			grid[y][x] = m
+		}
+	}
+
+	var sb strings.Builder
+	for i, row := range grid {
+		lp := minLogP * float64(i) / float64(height-1)
+		fmt.Fprintf(&sb, "1e%-4.0f |%s|\n", lp, string(row))
+	}
+	fmt.Fprintf(&sb, "       %s\n", strings.Repeat("-", width+2))
+	fmt.Fprintf(&sb, "       %-12.0f%s%12.0f\n", minX,
+		strings.Repeat(" ", maxInt(1, width-24)), maxX)
+	for si, s := range series {
+		fmt.Fprintf(&sb, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return sb.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

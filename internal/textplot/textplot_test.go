@@ -1,0 +1,68 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+
+	"pubtac/internal/stats"
+)
+
+func sampleSeries(name string, shift float64) Series {
+	var pts []stats.ECCDFPoint
+	p := 1.0
+	for v := 100.0; v <= 1000; v += 100 {
+		pts = append(pts, stats.ECCDFPoint{Value: v + shift, Prob: p})
+		p /= 10
+	}
+	return Series{Name: name, Points: pts}
+}
+
+func TestECCDFBasicRender(t *testing.T) {
+	out := ECCDF([]Series{sampleSeries("a", 0), sampleSeries("b", 50)}, 60, 10)
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Fatal("legend missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("markers missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 12 {
+		t.Fatalf("plot too short: %d lines", len(lines))
+	}
+	// Every grid row must have the same width.
+	var w int
+	for _, l := range lines[:10] {
+		if w == 0 {
+			w = len(l)
+		} else if len(l) != w {
+			t.Fatalf("ragged plot rows: %d vs %d", len(l), w)
+		}
+	}
+}
+
+func TestECCDFEmptyAndDegenerate(t *testing.T) {
+	if out := ECCDF(nil, 40, 8); !strings.Contains(out, "empty") {
+		t.Fatalf("nil series: %q", out)
+	}
+	constant := Series{Name: "c", Points: []stats.ECCDFPoint{{Value: 5, Prob: 0.5}}}
+	if out := ECCDF([]Series{constant}, 40, 8); !strings.Contains(out, "empty") {
+		t.Fatalf("degenerate series should render as empty: %q", out)
+	}
+}
+
+func TestECCDFClampsTinySizes(t *testing.T) {
+	out := ECCDF([]Series{sampleSeries("a", 0)}, 1, 1)
+	if len(out) == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestECCDFZeroProbClamped(t *testing.T) {
+	s := Series{Name: "z", Points: []stats.ECCDFPoint{
+		{Value: 1, Prob: 0.5}, {Value: 2, Prob: 0},
+	}}
+	out := ECCDF([]Series{s}, 30, 6)
+	if !strings.Contains(out, "*") {
+		t.Fatal("points not plotted")
+	}
+}

@@ -1,0 +1,208 @@
+// Package trace defines memory access sequences — the common currency
+// between the program model, the cache simulator, PUB and TAC.
+//
+// A Trace is an ordered sequence of accesses, each tagged as an instruction
+// fetch or a data access (the paper reasons about "the sequence of addresses
+// of one path, regardless of whether they are instructions or data"; the tag
+// only routes the access to the IL1 or DL1 cache). The package also provides
+// the ins(M, x) insertion operator of Section 3.1 (Equation 2) and the
+// subsequence relation that characterizes PUB's output.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind distinguishes instruction fetches from data accesses.
+type Kind uint8
+
+const (
+	// Instr is an instruction fetch, served by the IL1 cache.
+	Instr Kind = iota
+	// Data is a data load/store, served by the DL1 cache.
+	Data
+)
+
+// String returns "I" or "D".
+func (k Kind) String() string {
+	if k == Instr {
+		return "I"
+	}
+	return "D"
+}
+
+// Access is one memory access: a byte address plus the cache it targets.
+type Access struct {
+	Addr uint64
+	Kind Kind
+}
+
+// Trace is an ordered sequence of memory accesses.
+type Trace []Access
+
+// D builds a data-access trace from byte addresses, in order. It is the
+// literal notation used by tests and the worked examples of Section 3.1.
+func D(addrs ...uint64) Trace {
+	t := make(Trace, len(addrs))
+	for i, a := range addrs {
+		t[i] = Access{Addr: a, Kind: Data}
+	}
+	return t
+}
+
+// I builds an instruction-fetch trace from byte addresses, in order.
+func I(addrs ...uint64) Trace {
+	t := make(Trace, len(addrs))
+	for i, a := range addrs {
+		t[i] = Access{Addr: a, Kind: Instr}
+	}
+	return t
+}
+
+// FromLetters builds a data trace from a string of letters, mapping 'A' to
+// line 0, 'B' to line 1, ..., with each letter placed on its own cache line
+// of the given size. It reproduces the paper's notation: FromLetters("ABCA",
+// 32) is the sequence {A B C A} on 32-byte lines. Non-letter characters are
+// ignored.
+func FromLetters(s string, lineBytes int) Trace {
+	var t Trace
+	for _, r := range strings.ToUpper(s) {
+		if r < 'A' || r > 'Z' {
+			continue
+		}
+		t = append(t, Access{Addr: uint64(r-'A') * uint64(lineBytes), Kind: Data})
+	}
+	return t
+}
+
+// Repeat returns the trace concatenated n times, the {SEQ}^n notation of the
+// paper. Repeat(t, 0) returns an empty trace.
+func Repeat(t Trace, n int) Trace {
+	out := make(Trace, 0, len(t)*n)
+	for i := 0; i < n; i++ {
+		out = append(out, t...)
+	}
+	return out
+}
+
+// Concat returns the concatenation of the given traces as a new trace.
+func Concat(ts ...Trace) Trace {
+	var n int
+	for _, t := range ts {
+		n += len(t)
+	}
+	out := make(Trace, 0, n)
+	for _, t := range ts {
+		out = append(out, t...)
+	}
+	return out
+}
+
+// Ins returns a copy of t with access x inserted at position pos, the
+// ins(M, x) operator of Equation 2. Insertion preserves the relative order
+// of all original accesses. It panics if pos is out of [0, len(t)].
+func Ins(t Trace, x Access, pos int) Trace {
+	if pos < 0 || pos > len(t) {
+		panic(fmt.Sprintf("trace: Ins position %d out of range [0,%d]", pos, len(t)))
+	}
+	out := make(Trace, 0, len(t)+1)
+	out = append(out, t[:pos]...)
+	out = append(out, x)
+	out = append(out, t[pos:]...)
+	return out
+}
+
+// IsSubsequenceOf reports whether t is a (not necessarily contiguous)
+// subsequence of u: all accesses of t appear in u in the same order. PUB
+// guarantees that every original branch's sequence is a subsequence of the
+// pubbed sequence.
+func (t Trace) IsSubsequenceOf(u Trace) bool {
+	i := 0
+	for _, a := range u {
+		if i == len(t) {
+			return true
+		}
+		if t[i] == a {
+			i++
+		}
+	}
+	return i == len(t)
+}
+
+// Lines projects the trace to cache-line addresses (Addr / lineBytes),
+// preserving order and kind.
+func (t Trace) Lines(lineBytes int) Trace {
+	out := make(Trace, len(t))
+	for i, a := range t {
+		out[i] = Access{Addr: a.Addr / uint64(lineBytes), Kind: a.Kind}
+	}
+	return out
+}
+
+// Filter returns the sub-trace with the given kind, preserving order.
+func (t Trace) Filter(k Kind) Trace {
+	var out Trace
+	for _, a := range t {
+		if a.Kind == k {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// UniqueAddrs returns the distinct addresses in t, ascending.
+func (t Trace) UniqueAddrs() []uint64 {
+	seen := make(map[uint64]bool, len(t))
+	for _, a := range t {
+		seen[a.Addr] = true
+	}
+	out := make([]uint64, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Counts returns the number of occurrences of each address in t.
+func (t Trace) Counts() map[uint64]int {
+	m := make(map[uint64]int)
+	for _, a := range t {
+		m[a.Addr]++
+	}
+	return m
+}
+
+// String renders short traces using the paper's letter notation when all
+// addresses are multiples of 32 below 26 lines, and hexadecimal otherwise.
+// Long traces are truncated.
+func (t Trace) String() string {
+	const maxShown = 64
+	var sb strings.Builder
+	sb.WriteByte('{')
+	letters := true
+	for _, a := range t {
+		if a.Addr%32 != 0 || a.Addr/32 >= 26 {
+			letters = false
+			break
+		}
+	}
+	for i, a := range t {
+		if i == maxShown {
+			fmt.Fprintf(&sb, "... +%d more", len(t)-maxShown)
+			break
+		}
+		if i > 0 && !letters {
+			sb.WriteByte(' ')
+		}
+		if letters {
+			sb.WriteByte(byte('A' + a.Addr/32))
+		} else {
+			fmt.Fprintf(&sb, "%s:%#x", a.Kind, a.Addr)
+		}
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pubtac/internal/rng"
+)
+
+func TestFromLetters(t *testing.T) {
+	tr := FromLetters("ABCA", 32)
+	if len(tr) != 4 {
+		t.Fatalf("len = %d", len(tr))
+	}
+	want := []uint64{0, 32, 64, 0}
+	for i, a := range tr {
+		if a.Addr != want[i] || a.Kind != Data {
+			t.Fatalf("access %d = %+v", i, a)
+		}
+	}
+	if tr.String() != "{ABCA}" {
+		t.Fatalf("String = %q", tr.String())
+	}
+}
+
+func TestFromLettersIgnoresNoise(t *testing.T) {
+	if got := FromLetters("a b-c", 32); len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	tr := Repeat(FromLetters("AB", 32), 3)
+	if len(tr) != 6 {
+		t.Fatalf("len = %d", len(tr))
+	}
+	if tr.String() != "{ABABAB}" {
+		t.Fatalf("String = %q", tr.String())
+	}
+	if len(Repeat(tr, 0)) != 0 {
+		t.Fatal("Repeat 0 should be empty")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	got := Concat(D(1, 2), D(3), nil, D(4))
+	if len(got) != 4 || got[3].Addr != 4 {
+		t.Fatalf("Concat = %v", got)
+	}
+}
+
+func TestIns(t *testing.T) {
+	base := FromLetters("ABCA", 32)
+	x := Access{Addr: 32, Kind: Data} // 'B'
+	got := Ins(base, x, 2)
+	if got.String() != "{ABBCA}" {
+		t.Fatalf("Ins = %q", got.String())
+	}
+	// Original untouched.
+	if base.String() != "{ABCA}" {
+		t.Fatal("Ins modified its input")
+	}
+	if got := Ins(base, x, 0); got.String() != "{BABCA}" {
+		t.Fatalf("Ins at 0 = %q", got.String())
+	}
+	if got := Ins(base, x, 4); got.String() != "{ABCAB}" {
+		t.Fatalf("Ins at end = %q", got.String())
+	}
+}
+
+func TestInsPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Ins(D(1), Access{}, 5)
+}
+
+func TestInsPreservesOrderProperty(t *testing.T) {
+	// Property (Equation 2): the original trace is always a subsequence of
+	// ins(M, x) for any position.
+	gen := rng.New(17)
+	f := func(lenRaw, posRaw uint8) bool {
+		n := int(lenRaw % 20)
+		tr := make(Trace, n)
+		for i := range tr {
+			tr[i] = Access{Addr: uint64(gen.Intn(8)) * 32, Kind: Data}
+		}
+		pos := 0
+		if n > 0 {
+			pos = int(posRaw) % (n + 1)
+		}
+		ins := Ins(tr, Access{Addr: 999, Kind: Data}, pos)
+		return tr.IsSubsequenceOf(ins) && len(ins) == n+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsSubsequenceOf(t *testing.T) {
+	cases := []struct {
+		sub, sup string
+		want     bool
+	}{
+		{"ABCA", "ABACA", true},
+		{"BACA", "ABACA", true},
+		{"ABCA", "ABCA", true},
+		{"", "ABC", true},
+		{"ABC", "", false},
+		{"AAB", "ABA", false},
+		{"CBA", "ABCA", false},
+	}
+	for _, c := range cases {
+		sub := FromLetters(c.sub, 32)
+		sup := FromLetters(c.sup, 32)
+		if got := sub.IsSubsequenceOf(sup); got != c.want {
+			t.Errorf("%q subseq of %q = %v, want %v", c.sub, c.sup, got, c.want)
+		}
+	}
+}
+
+func TestSubsequenceDistinguishesKind(t *testing.T) {
+	instr := I(0)
+	data := D(0)
+	if instr.IsSubsequenceOf(data) {
+		t.Fatal("instruction access should not match data access")
+	}
+}
+
+func TestLines(t *testing.T) {
+	tr := D(0, 31, 32, 95)
+	lines := tr.Lines(32)
+	want := []uint64{0, 0, 1, 2}
+	for i, a := range lines {
+		if a.Addr != want[i] {
+			t.Fatalf("line %d = %d, want %d", i, a.Addr, want[i])
+		}
+	}
+}
+
+func TestFilter(t *testing.T) {
+	tr := Concat(I(4), D(8), I(12))
+	if d := tr.Filter(Data); len(d) != 1 || d[0].Addr != 8 {
+		t.Fatalf("Filter(Data) = %v", d)
+	}
+	if in := tr.Filter(Instr); len(in) != 2 {
+		t.Fatalf("Filter(Instr) = %v", in)
+	}
+}
+
+func TestUniqueAddrsAndCounts(t *testing.T) {
+	tr := FromLetters("ABCABA", 32)
+	u := tr.UniqueAddrs()
+	if len(u) != 3 || u[0] != 0 || u[1] != 32 || u[2] != 64 {
+		t.Fatalf("UniqueAddrs = %v", u)
+	}
+	counts := tr.Counts()
+	if counts[0] != 3 || counts[32] != 2 || counts[64] != 1 {
+		t.Fatalf("Counts = %v", counts)
+	}
+}
+
+func TestStringTruncatesAndHex(t *testing.T) {
+	long := Repeat(D(0x1000), 100)
+	s := long.String()
+	if len(s) > 1200 {
+		t.Fatalf("String too long: %d bytes", len(s))
+	}
+	if D(7).String() == "{H}" {
+		t.Fatal("non-line-aligned address must not print as a letter")
+	}
+}
+
+func TestPaperSection2Example(t *testing.T) {
+	// M_if = {ABCA}, M_else = {BACA}, M_pub = {ABACA}: both branches are
+	// subsequences of the pubbed sequence.
+	mIf := FromLetters("ABCA", 32)
+	mElse := FromLetters("BACA", 32)
+	mPub := FromLetters("ABACA", 32)
+	if !mIf.IsSubsequenceOf(mPub) || !mElse.IsSubsequenceOf(mPub) {
+		t.Fatal("paper's Section 2 example violated")
+	}
+}

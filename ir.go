@@ -1,0 +1,56 @@
+package pubtac
+
+import "pubtac/internal/program"
+
+// Re-exports of the program IR, so library users can model their own
+// multipath programs without touching internal packages. See
+// examples/custom_program for a complete walk-through.
+
+// State is the mutable program state threaded through execution.
+type State = program.State
+
+// Acc is a data-access template (symbol + index expression + identity).
+type Acc = program.Acc
+
+// Node is a program tree node.
+type Node = program.Node
+
+// Block is a straight-line region: instructions, data accesses, action.
+type Block = program.Block
+
+// Seq is sequential composition of nodes.
+type Seq = program.Seq
+
+// If is a two-way conditional construct.
+type If = program.If
+
+// Switch is an n-way conditional construct.
+type Switch = program.Switch
+
+// Loop is a counted loop with a static worst-case bound.
+type Loop = program.Loop
+
+// While is a condition-controlled loop with a static worst-case bound.
+type While = program.While
+
+// Symbol is a data object (name, element size, length).
+type Symbol = program.Symbol
+
+// NewProgram creates an unlinked program from a tree and its data symbols;
+// call Link (or let the analyzer do it) before execution.
+func NewProgram(name string, root Node, symbols ...*Symbol) *Program {
+	return program.New(name, root, symbols...)
+}
+
+// Scalar returns an access template for a scalar symbol.
+func Scalar(sym string) *Acc { return program.Scalar(sym) }
+
+// Elem returns an access template for sym[index(state)] with identity id.
+// Templates with equal IDs are treated as the same access by PUB's pattern
+// merge.
+func Elem(id, sym string, index func(s *State) int64) *Acc {
+	return program.Elem(id, sym, index)
+}
+
+// At returns an access template for the fixed element sym[i].
+func At(sym string, i int64) *Acc { return program.At(sym, i) }

@@ -1,0 +1,103 @@
+// Package pubtac is a measurement-based probabilistic timing analysis
+// (MBPTA) toolkit for time-randomized cache platforms that simultaneously
+// achieves full path coverage and cache-layout representativeness, as
+// published in:
+//
+//	S. Milutinovic, J. Abella, E. Mezzetti, F. J. Cazorla.
+//	"Measurement-Based Cache Representativeness on Multipath Programs".
+//	DAC 2018.
+//
+// The library combines:
+//
+//   - PUB (path upper-bounding): a program transformation that inflates
+//     every branch of every conditional with innocuous accesses, so any
+//     path of the transformed program probabilistically upper-bounds all
+//     paths of the original;
+//   - TAC (time-aware address conflicts): an analysis of the program's
+//     address sequence that sizes the measurement campaign so that rare,
+//     high-impact random cache placements are observed;
+//   - MBPTA/EVT: campaign collection, i.i.d. diagnostics and
+//     exponential-tail pWCET estimation.
+//
+// # Quick start
+//
+//	bench, _ := pubtac.Benchmark("bs")
+//	an := pubtac.NewAnalyzer(pubtac.DefaultConfig())
+//	res, _ := an.AnalyzePath(bench.Program, bench.Default())
+//	fmt.Printf("pWCET@1e-12 = %.0f cycles with %d runs\n",
+//	    res.PWCET(1e-12), res.R)
+//
+// The underlying building blocks (program IR, cache/processor simulator,
+// statistics) are re-exported below for programmatic use; see the
+// examples/ directory for complete applications.
+package pubtac
+
+import (
+	"pubtac/internal/core"
+	"pubtac/internal/malardalen"
+	"pubtac/internal/mbpta"
+	"pubtac/internal/proc"
+	"pubtac/internal/program"
+	"pubtac/internal/pub"
+	"pubtac/internal/tac"
+)
+
+// Config assembles platform model, MBPTA and TAC parameters.
+type Config = core.Config
+
+// Analyzer runs the combined PUB+TAC pipeline.
+type Analyzer = core.Analyzer
+
+// PathAnalysis is the outcome of the pipeline on one pubbed path.
+type PathAnalysis = core.PathAnalysis
+
+// OriginalAnalysis is plain MBPTA on the unmodified program.
+type OriginalAnalysis = core.OriginalAnalysis
+
+// MultiPathAnalysis aggregates pipeline results over several pubbed paths
+// (Corollary 2: the minimum across paths is taken).
+type MultiPathAnalysis = core.MultiPathAnalysis
+
+// Program is the multipath program intermediate representation.
+type Program = program.Program
+
+// Input is one input vector for a program.
+type Input = program.Input
+
+// Bench couples a Mälardalen-style program with its input vectors.
+type Bench = malardalen.Benchmark
+
+// Model describes the simulated platform (caches + latencies).
+type Model = proc.Model
+
+// PubReport summarizes a PUB transformation.
+type PubReport = pub.Report
+
+// TACAnalysis is the outcome of TAC on an address sequence.
+type TACAnalysis = tac.Analysis
+
+// Estimate is a fitted pWCET model with diagnostics.
+type Estimate = mbpta.Estimate
+
+// DefaultConfig returns the paper's evaluation setup: 4KB 2-way 32B-line
+// IL1/DL1 with random placement and replacement, MBPTA-CV estimation, and
+// TAC with a 10^-9 miss probability.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewAnalyzer returns an analyzer for the configuration.
+func NewAnalyzer(cfg Config) *Analyzer { return core.New(cfg) }
+
+// DefaultModel returns the paper's platform model.
+func DefaultModel() Model { return proc.DefaultModel() }
+
+// Benchmark returns a fresh instance of one of the 11 Mälardalen-style
+// benchmarks ("bs", "cnt", "fir", "janne", "crc", "edn", "insertsort",
+// "jfdctint", "matmult", "fdct", "ns").
+func Benchmark(name string) (*Bench, error) { return malardalen.Get(name) }
+
+// Benchmarks returns all 11 benchmarks in the paper's Table 2 order.
+func Benchmarks() []*Bench { return malardalen.All() }
+
+// Transform applies PUB to a program, returning the pubbed program and a
+// transformation report. The original program is not modified.
+func Transform(p *Program) (*Program, PubReport, error) { return pub.Transform(p) }
