@@ -7,6 +7,7 @@ package pubtac_test
 // cmd/figures with -scale for larger reproductions.
 
 import (
+	"context"
 	"testing"
 
 	"pubtac"
@@ -30,7 +31,7 @@ func benchOpts() experiment.Options { return experiment.Options{Scale: benchScal
 // BenchmarkTable1 regenerates Table 1 (bs execution-time domain).
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.Table1(benchOpts()); err != nil {
+		if _, err := experiment.Table1(context.Background(), benchOpts()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -39,7 +40,7 @@ func BenchmarkTable1(b *testing.B) {
 // BenchmarkTable2 regenerates Table 2 (runs for MBPTA, PUB, PUB+TAC).
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.Table2(benchOpts()); err != nil {
+		if _, err := experiment.Table2(context.Background(), benchOpts()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -48,7 +49,7 @@ func BenchmarkTable2(b *testing.B) {
 // BenchmarkFigure1 regenerates Figure 1(a) (pWCET vs pETd).
 func BenchmarkFigure1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.Figure1(benchOpts()); err != nil {
+		if _, err := experiment.Figure1(context.Background(), benchOpts()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -57,7 +58,7 @@ func BenchmarkFigure1(b *testing.B) {
 // BenchmarkFigure2 regenerates Figure 2 (bs original vs pubbed ECCDFs).
 func BenchmarkFigure2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.Figure2(benchOpts()); err != nil {
+		if _, err := experiment.Figure2(context.Background(), benchOpts()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -66,7 +67,7 @@ func BenchmarkFigure2(b *testing.B) {
 // BenchmarkFigure4 regenerates Figure 4 (bs v9, Rpub vs Rp+t).
 func BenchmarkFigure4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.Figure4(benchOpts()); err != nil {
+		if _, err := experiment.Figure4(context.Background(), benchOpts()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -76,7 +77,7 @@ func BenchmarkFigure4(b *testing.B) {
 // to plain MBPTA).
 func BenchmarkFigure5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.Figure5(benchOpts()); err != nil {
+		if _, err := experiment.Figure5(context.Background(), benchOpts()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -94,6 +95,38 @@ func BenchmarkSection31(b *testing.B) {
 			b.Fatalf("unexpected results: %+v", r)
 		}
 	}
+}
+
+// BenchmarkBatchVsSerial contrasts the Session batch engine against the
+// serial per-benchmark loop on the full 11-benchmark campaign at
+// Workers = GOMAXPROCS. Both arms run identical campaigns (results are
+// bit-identical); the batch arm fans the paths out over one pool, hiding
+// each path's serial sections (estimate fitting, TAC) behind other paths'
+// simulation.
+func BenchmarkBatchVsSerial(b *testing.B) {
+	cfg := benchOpts().AnalyzerConfig()
+	jobs, err := pubtac.BenchmarkJobs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("serial", func(b *testing.B) {
+		an := pubtac.NewAnalyzer(cfg)
+		for i := 0; i < b.N; i++ {
+			for _, j := range jobs {
+				if _, err := an.AnalyzePath(j.Program, j.Inputs[0]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		s := pubtac.NewSession(pubtac.WithConfig(cfg))
+		for i := 0; i < b.N; i++ {
+			if _, err := s.AnalyzeBatch(context.Background(), jobs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- Component benchmarks --------------------------------------------

@@ -8,9 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"pubtac/internal/experiment"
 	"pubtac/internal/textplot"
@@ -22,17 +25,20 @@ func main() {
 	var (
 		fig     = flag.String("fig", "all", "which figure: 1, 2, 4, 5 or all")
 		scale   = flag.Float64("scale", 0.05, "campaign scale (1.0 = paper-size)")
-		workers = flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+		workers = flag.Int("workers", 0, "total simulation workers (0 = GOMAXPROCS)")
 		width   = flag.Int("width", 72, "plot width")
 		height  = flag.Int("height", 14, "plot height")
 	)
 	flag.Parse()
 	opts := experiment.Options{Scale: *scale, Workers: *workers}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	want := func(f string) bool { return *fig == f || *fig == "all" }
 
 	if want("1") {
-		series, err := experiment.Figure1(opts)
+		series, err := experiment.Figure1(ctx, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -41,7 +47,7 @@ func main() {
 		fmt.Println()
 	}
 	if want("2") {
-		series, err := experiment.Figure2(opts)
+		series, err := experiment.Figure2(ctx, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -63,7 +69,7 @@ func main() {
 		fmt.Println()
 	}
 	if want("4") {
-		res, err := experiment.Figure4(opts)
+		res, err := experiment.Figure4(ctx, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -74,7 +80,7 @@ func main() {
 		fmt.Println()
 	}
 	if want("5") {
-		rows, err := experiment.Figure5(opts)
+		rows, err := experiment.Figure5(ctx, opts)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,22 +1,26 @@
 // Command pubtac runs the full PUB+TAC analysis pipeline (Figure 3 of the
 // paper) on one benchmark and input vector, printing the run requirements,
-// TAC conflict classes and the resulting pWCET curve.
+// TAC conflict classes and the resulting pWCET curve. Ctrl-C cancels a
+// running campaign cleanly.
 //
 // Usage:
 //
 //	pubtac -bench bs -input v9 -scale 0.1
-//	pubtac -bench crc -multipath
+//	pubtac -bench crc -multipath -progress
+//	pubtac -batch -scale 0.05 -json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math"
+	"os"
+	"os/signal"
+	"strings"
 
-	"pubtac/internal/core"
-	"pubtac/internal/experiment"
-	"pubtac/internal/malardalen"
+	"pubtac"
 )
 
 func main() {
@@ -27,11 +31,44 @@ func main() {
 		inputName = flag.String("input", "", "input vector name (default: benchmark default)")
 		scale     = flag.Float64("scale", 0.05, "campaign scale (1.0 = paper-size)")
 		multipath = flag.Bool("multipath", false, "analyze all available input vectors and take the Corollary-2 minimum")
-		workers   = flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+		batch     = flag.Bool("batch", false, "analyze all 11 benchmarks concurrently (comma-separated names via -bench restrict the set)")
+		workers   = flag.Int("workers", 0, "total simulation workers (0 = GOMAXPROCS)")
+		progress  = flag.Bool("progress", false, "print campaign progress events")
+		asJSON    = flag.Bool("json", false, "emit results as JSON")
 	)
 	flag.Parse()
 
-	b, err := malardalen.Get(*benchName)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := []pubtac.Option{
+		pubtac.WithScale(*scale),
+		pubtac.WithWorkers(*workers),
+	}
+	if *progress {
+		opts = append(opts, pubtac.WithProgress(printProgress))
+	}
+	s := pubtac.NewSession(opts...)
+
+	if *batch {
+		if *multipath || *inputName != "" {
+			log.Fatal("-batch analyzes default inputs across benchmarks; it cannot be combined with -multipath or -input")
+		}
+		benchSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "bench" {
+				benchSet = true
+			}
+		})
+		names := ""
+		if benchSet {
+			names = *benchName
+		}
+		runBatch(ctx, s, names, *asJSON)
+		return
+	}
+
+	b, err := pubtac.Benchmark(*benchName)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,35 +78,98 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	opts := experiment.Options{Scale: *scale, Workers: *workers}
-	a := core.New(opts.AnalyzerConfig())
 
 	if *multipath {
-		m, err := a.AnalyzeMultiPath(b.Program, b.Inputs)
+		m, err := s.AnalyzeMultiPath(ctx, b.Program, b.Inputs)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("benchmark %s: %d pubbed paths analyzed (Corollary 2)\n", b.Name, len(m.Paths))
-		for _, pa := range m.Paths {
+		if *asJSON {
+			emitJSON(&pubtac.BatchResult{Jobs: []*pubtac.MultiResult{m}})
+			return
+		}
+		fmt.Printf("benchmark %s: %d pubbed paths analyzed (Corollary 2)\n", b.Name, len(m.Results))
+		for _, r := range m.Results {
 			fmt.Printf("  %-10s Rpub=%-7d Rtac=%-7d R=%-7d pWCET@1e-12=%.0f\n",
-				pa.Input.Name, pa.RPub, pa.RTac, pa.R, pa.PWCET(1e-12))
+				r.Input, r.RPub, r.RTac, r.R, r.PWCET(1e-12))
 		}
 		fmt.Printf("pWCET@1e-12 (min across paths) = %.0f cycles (path %s)\n",
-			m.PWCET(1e-12), m.Best(1e-12).Input.Name)
+			m.PWCET(1e-12), m.Best(1e-12).Input)
 		return
 	}
 
-	pa, err := a.AnalyzePath(b.Program, in)
+	res, err := s.AnalyzePath(ctx, b.Program, in)
 	if err != nil {
 		log.Fatal(err)
 	}
-	printPath(pa)
+	if *asJSON {
+		emitJSON(&pubtac.BatchResult{Jobs: []*pubtac.MultiResult{{Results: []*pubtac.Result{res}}}})
+		return
+	}
+	printPath(res)
 }
 
-func printPath(pa *core.PathAnalysis) {
-	fmt.Printf("benchmark      %s (input %s)\n", pa.Program, pa.Input.Name)
+// runBatch analyzes a set of benchmarks concurrently through the batch
+// engine: all 11 when names is empty, otherwise the comma-separated list.
+func runBatch(ctx context.Context, s *pubtac.Session, names string, asJSON bool) {
+	var list []string
+	if names != "" {
+		list = strings.Split(names, ",")
+	}
+	jobs, err := pubtac.BenchmarkJobs(list...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	batch, err := s.AnalyzeBatch(ctx, jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if asJSON {
+		emitJSON(batch)
+		return
+	}
+	fmt.Printf("%-12s %8s %8s %8s %10s %14s\n", "benchmark", "Rpub", "Rtac", "R", "simulated", "pWCET@1e-12")
+	for _, r := range batch.All() {
+		fmt.Printf("%-12s %8d %8d %8d %10d %14.0f\n",
+			r.Program, r.RPub, r.RTac, r.R, r.RunsUsed, r.PWCET(1e-12))
+	}
+}
+
+func emitJSON(b *pubtac.BatchResult) {
+	buf, err := b.JSON()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(buf))
+}
+
+// progressMilestones keeps one 4096-run bucket per (path, phase) so the
+// throttle fires on every milestone crossing even when the per-block run
+// counts are not milestone-aligned (convergence rounds resume at arbitrary
+// offsets). The session serializes progress callbacks, so a plain map is
+// safe here.
+var progressMilestones = map[string]int{}
+
+// printProgress renders progress events; campaign workers emit them
+// frequently, so only ~4096-run milestones and terminal events are shown.
+func printProgress(ev pubtac.ProgressEvent) {
+	if ev.Phase != "done" {
+		key := ev.Program + "/" + ev.Input + "/" + ev.Phase
+		bucket := ev.Done / 4096
+		if progressMilestones[key] == bucket {
+			return
+		}
+		progressMilestones[key] = bucket
+	}
+	fmt.Fprintf(os.Stderr, "  [%s/%s] %s %d/%d runs\n",
+		ev.Program, ev.Input, ev.Phase, ev.Done, ev.Target)
+}
+
+func printPath(r *pubtac.Result) {
+	pa := r.Analysis()
+	fmt.Printf("benchmark      %s (input %s)\n", r.Program, r.Input)
 	fmt.Printf("PUB            %d constructs balanced, %d accesses inserted, code x%.2f\n",
-		pa.PubReport.Constructs, pa.PubReport.InsertedAccesses, pa.PubReport.CodeGrowth())
+		pa.PubReport.Constructs, pa.PubReport.InsertedAccesses, r.PubCodeGrowth)
 	fmt.Printf("TAC            %d conflict groups in %d classes, baseline mean %.0f cycles\n",
 		len(pa.TAC.Groups), len(pa.TAC.Classes), pa.TAC.BaselineMean)
 	for i, c := range pa.TAC.Classes {
@@ -77,18 +177,18 @@ func printPath(pa *core.PathAnalysis) {
 			i+1, c.Impact, c.Prob, c.Groups, c.Runs)
 	}
 	fmt.Printf("runs           Rpub=%d  Rtac=%d  R=%d (simulated %d)\n",
-		pa.RPub, pa.RTac, pa.R, pa.RunsUsed)
+		r.RPub, r.RTac, r.R, r.RunsUsed)
 	iid := pa.Full.IID
 	fmt.Printf("diagnostics    runs-test p=%.3f  ljung-box p=%.3f  ks p=%.3f  CV=%.3f\n",
 		iid.Runs.PValue, iid.LjungBox.PValue, iid.Identical.PValue, pa.Full.CV.CV)
 	fmt.Println("pWCET curve (PUB+TAC):")
 	for _, e := range []float64{3, 6, 9, 12} {
 		p := math.Pow(10, -e)
-		fmt.Printf("  @1e-%-3.0f %10.0f cycles\n", e, pa.Full.PWCET(p))
+		fmt.Printf("  @1e-%-3.0f %10.0f cycles\n", e, r.PWCET(p))
 	}
-	if pa.RTac > pa.RPub {
+	if r.RTac > r.RPub {
 		fmt.Printf("note: TAC demands %dx more runs than plain MBPTA convergence\n",
-			pa.RTac/maxInt(pa.RPub, 1))
+			r.RTac/maxInt(r.RPub, 1))
 	}
 }
 

@@ -1,5 +1,6 @@
 // Command tables regenerates the paper's Table 1 (bs execution-time
 // domain) and Table 2 (representative number of runs per benchmark).
+// Campaigns fan out over a bounded worker pool; Ctrl-C cancels cleanly.
 //
 // Usage:
 //
@@ -7,12 +8,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-)
+	"os"
+	"os/signal"
 
-import "pubtac/internal/experiment"
+	"pubtac/internal/experiment"
+)
 
 func main() {
 	log.SetFlags(0)
@@ -20,13 +24,16 @@ func main() {
 	var (
 		table   = flag.String("table", "all", "which table to regenerate: 1, 2 or all")
 		scale   = flag.Float64("scale", 0.05, "campaign scale (1.0 = paper-size)")
-		workers = flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+		workers = flag.Int("workers", 0, "total simulation workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	opts := experiment.Options{Scale: *scale, Workers: *workers}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	if *table == "1" || *table == "all" {
-		rows, err := experiment.Table1(opts)
+		rows, err := experiment.Table1(ctx, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -40,7 +47,7 @@ func main() {
 		fmt.Println()
 	}
 	if *table == "2" || *table == "all" {
-		rows, err := experiment.Table2(opts)
+		rows, err := experiment.Table2(ctx, opts)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -13,9 +13,7 @@ import (
 	"log"
 	"sort"
 
-	"pubtac/internal/malardalen"
-	"pubtac/internal/proc"
-	"pubtac/internal/pub"
+	"pubtac"
 	"pubtac/internal/trace"
 )
 
@@ -30,7 +28,7 @@ func main() {
 	)
 	flag.Parse()
 
-	b, err := malardalen.Get(*benchName)
+	b, err := pubtac.Benchmark(*benchName)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,7 +40,7 @@ func main() {
 	}
 	p := b.Program
 	if *usePub {
-		q, rep, err := pub.Transform(p)
+		q, rep, err := pubtac.Transform(p)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -65,7 +63,7 @@ func main() {
 		fmt.Printf("path     %s\n", res.Path)
 	}
 
-	model := proc.DefaultModel()
+	model := pubtac.DefaultModel()
 	lineStats("IL1", instr, model.IL1.LineBytes)
 	lineStats("DL1", data, model.DL1.LineBytes)
 

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -62,17 +63,16 @@ func main() {
 	fmt.Println("(every pubbed path upper-bounds every original path: Corollary 1)")
 
 	// --- Part 3: v9 with R_pub vs R_pub+tac (Figure 4). ---
-	cfg := pubtac.DefaultConfig()
-	cfg.CampaignCap = 80000
-	analyzer := pubtac.NewAnalyzer(cfg)
+	s := pubtac.NewSession(pubtac.WithCampaignCap(80000))
 	v9, err := bench.Input("v9")
 	if err != nil {
 		log.Fatal(err)
 	}
-	pa, err := analyzer.AnalyzePath(bench.Program, v9)
+	res, err := s.AnalyzePath(context.Background(), bench.Program, v9)
 	if err != nil {
 		log.Fatal(err)
 	}
+	pa := res.Analysis()
 	fmt.Printf("\nv9: R_pub = %d runs, R_pub+tac = %d runs\n", pa.RPub, pa.R)
 	fmt.Printf("%-22s %12s %12s\n", "", "Rpub sample", "Rp+t sample")
 	for _, p := range []float64{1e-6, 1e-9, 1e-12} {

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -99,27 +100,28 @@ func main() {
 		Arrays: map[string][]int64{"samples": crashWin, "calib": make([]int64, 16)},
 	}
 
-	cfg := pubtac.DefaultConfig()
-	cfg.CampaignCap = 20000
-	analyzer := pubtac.NewAnalyzer(cfg)
+	ctx := context.Background()
+	s := pubtac.NewSession(pubtac.WithCampaignCap(20000))
 
 	// Analyzing the NOMINAL vector still upper-bounds the crash path:
 	// PUB inflates the nominal case with the crash case's access pattern.
-	res, err := analyzer.AnalyzePath(prog, nominal)
+	res, err := s.AnalyzePath(ctx, prog, nominal)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("PUB balanced %d constructs; %d accesses inserted\n",
-		res.PubReport.Constructs, res.PubReport.InsertedAccesses)
+		res.PubConstructs, res.Analysis().PubReport.InsertedAccesses)
 	fmt.Printf("runs: MBPTA alone %d, TAC %d -> campaign %d\n",
 		res.RPub, res.RTac, res.RunsUsed)
 	fmt.Printf("pWCET@1e-12 from the nominal vector: %.0f cycles\n", res.PWCET(1e-12))
 
 	// Corollary 2: analyzing more pubbed paths can only tighten the bound.
-	multi, err := analyzer.AnalyzeMultiPath(prog, []pubtac.Input{nominal, crash})
+	// The session fans both paths out concurrently and transforms the
+	// program only once.
+	multi, err := s.AnalyzeMultiPath(ctx, prog, []pubtac.Input{nominal, crash})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("pWCET@1e-12 minimized over 2 pubbed paths: %.0f cycles (path %q)\n",
-		multi.PWCET(1e-12), multi.Best(1e-12).Input.Name)
+		multi.PWCET(1e-12), multi.Best(1e-12).Input)
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"pubtac/internal/cache"
+	"pubtac/internal/mbpta"
 	"pubtac/internal/proc"
 	"pubtac/internal/stats"
 	"pubtac/internal/trace"
@@ -48,10 +49,11 @@ func main() {
 		DL1: smallCache(cache.RandomPlacement, cache.RandomReplacement),
 		Lat: proc.DefaultLatency(),
 	}
+	// mbpta.Collect is the campaign primitive the analysis layers build on:
+	// same per-run seeds as a serial campaign, fanned out over the machine.
 	const runs = 4000
-	e2 := proc.NewEngine(rnd)
-	sShort := e2.Campaign(short, runs, 7)
-	sLong := e2.Campaign(long, runs, 7)
+	sShort := mbpta.Collect(short, rnd, runs, 7, 0)
+	sLong := mbpta.Collect(long, rnd, runs, 7, 0)
 	fmt.Println("\ntime-randomized cache (random placement + replacement, 2 ways):")
 	fmt.Printf("  {ABCA}^200  : mean %7.0f  q99 %7.0f  max %7.0f\n",
 		stats.Mean(sShort), stats.Quantile(sShort, 0.99), stats.Max(sShort))

@@ -1,5 +1,5 @@
 // Quickstart: analyze the binary-search benchmark with the full PUB+TAC
-// pipeline and print the resulting pWCET figures.
+// pipeline through the Session API and print the resulting pWCET figures.
 //
 // Run with:
 //
@@ -7,8 +7,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"pubtac"
 )
@@ -24,28 +26,33 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 2. Configure the analysis. DefaultConfig reproduces the paper's
+	// 2. Open an analysis session. The defaults reproduce the paper's
 	//    platform (4KB 2-way 32B-line IL1/DL1, random placement and
-	//    replacement). CampaignCap keeps this demo fast; drop it for a
-	//    full-size campaign.
-	cfg := pubtac.DefaultConfig()
-	cfg.CampaignCap = 20000
-	analyzer := pubtac.NewAnalyzer(cfg)
+	//    replacement); WithCampaignCap keeps this demo fast — drop it for
+	//    a full-size campaign, or use WithScale to shrink everything
+	//    proportionally.
+	s := pubtac.NewSession(
+		pubtac.WithCampaignCap(20000),
+	)
 
 	// 3. Run the pipeline on one input vector: PUB transforms the program,
 	//    TAC sizes the campaign from the pubbed path's address sequence,
 	//    and MBPTA/EVT turns the measurements into a pWCET curve that
 	//    upper-bounds EVERY path of the original program under every cache
-	//    layout occurring with relevant probability.
-	res, err := analyzer.AnalyzePath(bench.Program, bench.Default())
+	//    layout occurring with relevant probability. The context bounds the
+	//    campaign: cancel it (or let the deadline expire) and the analysis
+	//    returns promptly with ctx.Err().
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := s.AnalyzePath(ctx, bench.Program, bench.Default())
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("PUB balanced %d conditional constructs (code grew %.2fx)\n",
-		res.PubReport.Constructs, res.PubReport.CodeGrowth())
+		res.PubConstructs, res.PubCodeGrowth)
 	fmt.Printf("TAC found %d conflict classes; requires %d runs (MBPTA alone: %d)\n",
-		len(res.TAC.Classes), res.RTac, res.RPub)
+		res.TACClasses, res.RTac, res.RPub)
 	fmt.Printf("campaign: %d runs simulated\n", res.RunsUsed)
 	for _, p := range []float64{1e-6, 1e-9, 1e-12} {
 		fmt.Printf("pWCET @ %.0e per run: %.0f cycles\n", p, res.PWCET(p))

@@ -1,0 +1,3 @@
+module pubtac
+
+go 1.24

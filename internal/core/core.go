@@ -23,7 +23,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math"
 
 	"pubtac/internal/mbpta"
 	"pubtac/internal/proc"
@@ -31,6 +33,19 @@ import (
 	"pubtac/internal/pub"
 	"pubtac/internal/tac"
 )
+
+// ProgressEvent reports campaign growth for one analyzed path. Events are
+// emitted from campaign workers as simulation blocks complete; Target is
+// the currently known run requirement and can grow between events (MBPTA
+// convergence extends its own target, and the TAC campaign phase raises it
+// to R).
+type ProgressEvent struct {
+	Program string // original program name
+	Input   string // input vector selecting the path
+	Phase   string // "converge", "campaign" or "done"
+	Done    int    // runs completed so far
+	Target  int    // runs currently required
+}
 
 // Config assembles the knobs of the full pipeline.
 type Config struct {
@@ -43,6 +58,15 @@ type Config struct {
 	// only the measured sample is truncated. Use it to scale experiments
 	// down from paper-size campaigns.
 	CampaignCap int
+
+	// SeedSalt is XORed into every campaign root seed, giving sessions
+	// statistically independent campaigns without touching the per-path
+	// seed derivation. Zero reproduces the historical seeds.
+	SeedSalt uint64
+
+	// Progress, when non-nil, receives campaign progress events. It may be
+	// called concurrently from campaign workers and must be cheap.
+	Progress func(ProgressEvent)
 }
 
 // DefaultConfig returns the paper's evaluation setup.
@@ -52,6 +76,29 @@ func DefaultConfig() Config {
 		MBPTA: mbpta.DefaultConfig(),
 		TAC:   tac.DefaultConfig(),
 	}
+}
+
+// Scaled returns the configuration with every campaign knob multiplied by
+// scale — MBPTA's initial runs, increment and convergence ceiling, floored
+// at usable minimums — and the campaign cap set to the scaled equivalent
+// of the evaluation's 7×10^5-run campaign. This is the one scaling policy;
+// the public Session options and the experiment generators both use it, so
+// their campaigns stay in lockstep at equal scales.
+func (c Config) Scaled(scale float64) Config {
+	c.MBPTA.InitialRuns = scaledRuns(c.MBPTA.InitialRuns, scale, 200)
+	c.MBPTA.Increment = scaledRuns(c.MBPTA.Increment, scale, 200)
+	c.MBPTA.MaxRuns = scaledRuns(c.MBPTA.MaxRuns, scale, 4000)
+	c.CampaignCap = scaledRuns(700000, scale, 6000)
+	return c
+}
+
+// scaledRuns returns max(min, round(n*scale)).
+func scaledRuns(n int, scale float64, min int) int {
+	v := int(math.Round(float64(n) * scale))
+	if v < min {
+		v = min
+	}
+	return v
 }
 
 // Analyzer runs PUB+TAC analyses on programs.
@@ -85,16 +132,40 @@ func (pa *PathAnalysis) PWCET(p float64) float64 { return pa.Full.PWCET(p) }
 
 // AnalyzePath runs the full pipeline (Figure 3) on one input vector.
 func (a *Analyzer) AnalyzePath(p *program.Program, in program.Input) (*PathAnalysis, error) {
+	return a.AnalyzePathCtx(context.Background(), p, in)
+}
+
+// AnalyzePathCtx is AnalyzePath with cancellation: a cancelled or expired
+// context stops the measurement campaign promptly and returns ctx.Err().
+func (a *Analyzer) AnalyzePathCtx(ctx context.Context, p *program.Program, in program.Input) (*PathAnalysis, error) {
 	pubbed, rep, err := pub.Transform(p)
 	if err != nil {
 		return nil, fmt.Errorf("core: PUB failed on %s: %w", p.Name, err)
 	}
-	return a.analyzeOn(pubbed, p.Name, in, rep)
+	return a.analyzeOn(ctx, pubbed, p.Name, in, rep, 0)
 }
 
-// analyzeOn runs steps 2-4 on an already-transformed program.
-func (a *Analyzer) analyzeOn(pubbed *program.Program, name string, in program.Input,
-	rep pub.Report) (*PathAnalysis, error) {
+// progressFn adapts the configured event sink to mbpta's per-campaign
+// callback for one (path, phase) pair; nil when no sink is configured.
+func (a *Analyzer) progressFn(name, input, phase string) mbpta.Progress {
+	sink := a.cfg.Progress
+	if sink == nil {
+		return nil
+	}
+	return func(done, target int) {
+		sink(ProgressEvent{Program: name, Input: input, Phase: phase, Done: done, Target: target})
+	}
+}
+
+// analyzeOn runs steps 2-4 on an already-transformed program. workers, when
+// positive, overrides cfg.MBPTA.Workers for this path's campaigns (the batch
+// engine splits the machine between concurrent paths).
+func (a *Analyzer) analyzeOn(ctx context.Context, pubbed *program.Program, name string,
+	in program.Input, rep pub.Report, workers int) (*PathAnalysis, error) {
+
+	if workers <= 0 {
+		workers = a.cfg.MBPTA.Workers
+	}
 
 	res, err := pubbed.Exec(in)
 	if err != nil {
@@ -106,8 +177,11 @@ func (a *Analyzer) analyzeOn(pubbed *program.Program, name string, in program.In
 		return nil, fmt.Errorf("core: TAC on %s(%s): %w", name, in.Name, err)
 	}
 
-	root := mbpta.Seed(name + "/" + in.Name)
-	conv, err := mbpta.Converge(res.Trace, a.cfg.Model, a.cfg.MBPTA, root)
+	root := mbpta.Seed(name+"/"+in.Name) ^ a.cfg.SeedSalt
+	mcfg := a.cfg.MBPTA
+	mcfg.Workers = workers
+	conv, err := mbpta.ConvergeCtx(ctx, res.Trace, a.cfg.Model, mcfg, root,
+		a.progressFn(name, in.Name, "converge"))
 	if err != nil {
 		return nil, fmt.Errorf("core: MBPTA convergence on %s(%s): %w", name, in.Name, err)
 	}
@@ -135,15 +209,28 @@ func (a *Analyzer) analyzeOn(pubbed *program.Program, name string, in program.In
 		// The converged sample already covers the requirement.
 		pa.Full = conv.Estimate
 		pa.RunsUsed = conv.Runs
+		a.done(name, in.Name, pa.RunsUsed)
 		return pa, nil
 	}
-	sample := mbpta.Collect(res.Trace, a.cfg.Model, pa.RunsUsed, root, a.cfg.MBPTA.Workers)
+	sample, err := mbpta.CollectCtx(ctx, res.Trace, a.cfg.Model, pa.RunsUsed, root,
+		workers, a.progressFn(name, in.Name, "campaign"))
+	if err != nil {
+		return nil, fmt.Errorf("core: campaign on %s(%s): %w", name, in.Name, err)
+	}
 	full, err := mbpta.NewEstimate(sample, a.cfg.MBPTA)
 	if err != nil {
 		return nil, fmt.Errorf("core: estimating %s(%s): %w", name, in.Name, err)
 	}
 	pa.Full = full
+	a.done(name, in.Name, pa.RunsUsed)
 	return pa, nil
+}
+
+// done emits the terminal progress event for one path.
+func (a *Analyzer) done(name, input string, runs int) {
+	if a.cfg.Progress != nil {
+		a.cfg.Progress(ProgressEvent{Program: name, Input: input, Phase: "done", Done: runs, Target: runs})
+	}
 }
 
 // OriginalAnalysis is plain MBPTA on the unmodified program: the paper's
@@ -159,6 +246,13 @@ type OriginalAnalysis struct {
 
 // AnalyzeOriginal measures the original program with plain MBPTA.
 func (a *Analyzer) AnalyzeOriginal(p *program.Program, in program.Input) (*OriginalAnalysis, error) {
+	return a.AnalyzeOriginalCtx(context.Background(), p, in, 0)
+}
+
+// AnalyzeOriginalCtx is AnalyzeOriginal with cancellation. workers, when
+// positive, overrides cfg.MBPTA.Workers for this campaign.
+func (a *Analyzer) AnalyzeOriginalCtx(ctx context.Context, p *program.Program,
+	in program.Input, workers int) (*OriginalAnalysis, error) {
 	res, err := p.Exec(in)
 	if err != nil {
 		return nil, fmt.Errorf("core: executing %s(%s): %w", p.Name, in.Name, err)
@@ -167,11 +261,17 @@ func (a *Analyzer) AnalyzeOriginal(p *program.Program, in program.Input) (*Origi
 	// PUB is innocuous and traces coincide) original and pubbed analyses
 	// then see identical samples, removing spurious seed-to-seed noise
 	// from PUB-vs-original comparisons.
-	root := mbpta.Seed(p.Name + "/" + in.Name)
-	conv, err := mbpta.Converge(res.Trace, a.cfg.Model, a.cfg.MBPTA, root)
+	root := mbpta.Seed(p.Name+"/"+in.Name) ^ a.cfg.SeedSalt
+	mcfg := a.cfg.MBPTA
+	if workers > 0 {
+		mcfg.Workers = workers
+	}
+	conv, err := mbpta.ConvergeCtx(ctx, res.Trace, a.cfg.Model, mcfg, root,
+		a.progressFn(p.Name, in.Name, "converge"))
 	if err != nil {
 		return nil, err
 	}
+	a.done(p.Name, in.Name, conv.Runs)
 	return &OriginalAnalysis{
 		Program:  p.Name,
 		Input:    in,
@@ -190,22 +290,23 @@ type MultiPathAnalysis struct {
 // all resulting estimates are reliable and representative upper-bounds of
 // all original paths; PWCET returns the tightest (lowest) one.
 func (a *Analyzer) AnalyzeMultiPath(p *program.Program, inputs []program.Input) (*MultiPathAnalysis, error) {
+	return a.AnalyzeMultiPathCtx(context.Background(), p, inputs, 0)
+}
+
+// AnalyzeMultiPathCtx is AnalyzeMultiPath with cancellation and bounded
+// parallelism: the paths are fanned out over the batch engine, with workers
+// (0 = GOMAXPROCS) bounding the total simulation parallelism. Results are
+// deterministic and independent of the worker count.
+func (a *Analyzer) AnalyzeMultiPathCtx(ctx context.Context, p *program.Program,
+	inputs []program.Input, workers int) (*MultiPathAnalysis, error) {
 	if len(inputs) == 0 {
 		return nil, fmt.Errorf("core: no input vectors for %s", p.Name)
 	}
-	pubbed, rep, err := pub.Transform(p)
+	batch, err := a.AnalyzeBatch(ctx, []Job{{Program: p, Inputs: inputs}}, workers)
 	if err != nil {
 		return nil, err
 	}
-	m := &MultiPathAnalysis{}
-	for _, in := range inputs {
-		pa, err := a.analyzeOn(pubbed, p.Name, in, rep)
-		if err != nil {
-			return nil, err
-		}
-		m.Paths = append(m.Paths, pa)
-	}
-	return m, nil
+	return &MultiPathAnalysis{Paths: batch[0]}, nil
 }
 
 // PWCET returns the minimum pWCET across the analyzed pubbed paths at

@@ -11,13 +11,17 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime"
 
 	"pubtac/internal/core"
 	"pubtac/internal/malardalen"
 	"pubtac/internal/mbpta"
+	"pubtac/internal/pool"
 	"pubtac/internal/proc"
+	"pubtac/internal/program"
 	"pubtac/internal/stats"
 	"pubtac/internal/tac"
 )
@@ -26,7 +30,9 @@ import (
 type Options struct {
 	// Scale multiplies every campaign size (1.0 = paper size).
 	Scale float64
-	// Workers bounds simulation parallelism (0 = GOMAXPROCS).
+	// Workers bounds total simulation parallelism across a generator's
+	// concurrent campaigns (0 = GOMAXPROCS). Every generator honors it
+	// uniformly; outputs are identical at any worker count.
 	Workers int
 }
 
@@ -42,15 +48,20 @@ func (o Options) scaled(n int, min int) int {
 	return v
 }
 
-// AnalyzerConfig builds the core configuration for the options.
+// budget resolves the worker option to a concrete parallelism budget.
+func (o Options) budget() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// AnalyzerConfig builds the core configuration for the options, using the
+// shared core scaling policy so experiment campaigns match Session
+// campaigns at equal scales.
 func (o Options) AnalyzerConfig() core.Config {
-	cfg := core.DefaultConfig()
-	cfg.MBPTA.InitialRuns = o.scaled(1000, 200)
-	cfg.MBPTA.Increment = o.scaled(1000, 200)
-	cfg.MBPTA.MaxRuns = o.scaled(300000, 4000)
+	cfg := core.DefaultConfig().Scaled(o.Scale)
 	cfg.MBPTA.Workers = o.Workers
-	cfg.CampaignCap = o.scaled(700000, 6000)
-	cfg.TAC = tac.DefaultConfig()
 	return cfg
 }
 
@@ -66,23 +77,23 @@ type Table1Row struct {
 
 // Table1 regenerates Table 1: for each of bs's 8 maximum-iteration input
 // vectors, the required runs and the pWCET at 10^-12 with PUB only versus
-// PUB+TAC.
-func Table1(opts Options) ([]Table1Row, error) {
+// PUB+TAC. The 8 paths are analyzed concurrently over the batch engine.
+func Table1(ctx context.Context, opts Options) ([]Table1Row, error) {
 	b := malardalen.BS()
 	a := core.New(opts.AnalyzerConfig())
-	var rows []Table1Row
-	for _, in := range malardalen.BSMaxIterationInputs(b) {
-		pa, err := a.AnalyzePath(b.Program, in)
-		if err != nil {
-			return nil, fmt.Errorf("table1 %s: %w", in.Name, err)
-		}
-		rows = append(rows, Table1Row{
-			Input:    in.Name,
+	m, err := a.AnalyzeMultiPathCtx(ctx, b.Program, malardalen.BSMaxIterationInputs(b), opts.budget())
+	if err != nil {
+		return nil, fmt.Errorf("table1: %w", err)
+	}
+	rows := make([]Table1Row, len(m.Paths))
+	for i, pa := range m.Paths {
+		rows[i] = Table1Row{
+			Input:    pa.Input.Name,
 			RPubK:    float64(pa.RPub) / 1000,
 			RPTK:     float64(pa.R) / 1000,
 			PWCETPub: pa.PubOnly.PWCET(1e-12),
 			PWCETPT:  pa.Full.PWCET(1e-12),
-		})
+		}
 	}
 	return rows, nil
 }
@@ -96,27 +107,61 @@ type Table2Row struct {
 }
 
 // Table2 regenerates Table 2: R_orig, R_pub and R_pub+tac for all 11
-// benchmarks with their default input sets.
-func Table2(opts Options) ([]Table2Row, error) {
+// benchmarks with their default input sets. The 22 campaigns (original and
+// pubbed per benchmark) are fanned out over one bounded pool.
+func Table2(ctx context.Context, opts Options) ([]Table2Row, error) {
 	a := core.New(opts.AnalyzerConfig())
-	var rows []Table2Row
-	for _, b := range malardalen.All() {
-		oa, err := a.AnalyzeOriginal(b.Program, b.Default())
-		if err != nil {
-			return nil, fmt.Errorf("table2 %s (orig): %w", b.Name, err)
-		}
-		pa, err := a.AnalyzePath(b.Program, b.Default())
-		if err != nil {
-			return nil, fmt.Errorf("table2 %s: %w", b.Name, err)
-		}
-		rows = append(rows, Table2Row{
+	bms := malardalen.All()
+	origs, pubs, err := originalsAndPaths(ctx, a, bms, opts.budget())
+	if err != nil {
+		return nil, fmt.Errorf("table2: %w", err)
+	}
+	rows := make([]Table2Row, len(bms))
+	for i, b := range bms {
+		rows[i] = Table2Row{
 			Benchmark: b.Name,
-			ROrigK:    float64(oa.ROrig) / 1000,
-			RPubK:     float64(pa.RPub) / 1000,
-			RPTK:      float64(pa.R) / 1000,
-		})
+			ROrigK:    float64(origs[i].ROrig) / 1000,
+			RPubK:     float64(pubs[i].RPub) / 1000,
+			RPTK:      float64(pubs[i].R) / 1000,
+		}
 	}
 	return rows, nil
+}
+
+// originalsAndPaths runs, for every benchmark, plain MBPTA on the original
+// program and the PUB+TAC pipeline on the default path, all over one pool
+// bounded by the total worker budget.
+func originalsAndPaths(ctx context.Context, a *core.Analyzer, bms []*malardalen.Benchmark,
+	budget int) ([]*core.OriginalAnalysis, []*core.PathAnalysis, error) {
+	origs := make([]*core.OriginalAnalysis, len(bms))
+	pubs := make([]*core.PathAnalysis, len(bms))
+	outer, inner := pool.SplitWorkers(budget, 2*len(bms))
+	g, ctx := pool.WithContext(ctx)
+	g.SetLimit(outer)
+	for i, b := range bms {
+		i, b := i, b
+		g.Go(func() error {
+			oa, err := a.AnalyzeOriginalCtx(ctx, b.Program, b.Default(), inner)
+			if err != nil {
+				return fmt.Errorf("%s (orig): %w", b.Name, err)
+			}
+			origs[i] = oa
+			return nil
+		})
+		g.Go(func() error {
+			batch, err := a.AnalyzeBatch(ctx,
+				[]core.Job{{Program: b.Program, Inputs: []program.Input{b.Default()}}}, inner)
+			if err != nil {
+				return fmt.Errorf("%s: %w", b.Name, err)
+			}
+			pubs[i] = batch[0][0]
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, nil, err
+	}
+	return origs, pubs, nil
 }
 
 // Series is a named ECCDF curve.
@@ -128,11 +173,15 @@ type Series struct {
 // Figure1 generates the didactic pWCET/pETd picture of Figure 1(a): the
 // empirical execution-time distribution of a small synthetic program on the
 // randomized platform, and the pWCET curve upper-bounding it.
-func Figure1(opts Options) ([]Series, error) {
+func Figure1(ctx context.Context, opts Options) ([]Series, error) {
 	b := malardalen.CNT()
 	res := b.Program.MustExec(b.Default())
 	n := opts.scaled(200000, 4000)
-	sample := mbpta.Collect(res.Trace, proc.DefaultModel(), n, mbpta.Seed("fig1"), opts.Workers)
+	sample, err := mbpta.CollectCtx(ctx, res.Trace, proc.DefaultModel(), n,
+		mbpta.Seed("fig1"), opts.Workers, nil)
+	if err != nil {
+		return nil, err
+	}
 	est, err := mbpta.NewEstimate(sample, mbpta.DefaultConfig())
 	if err != nil {
 		return nil, err
@@ -157,8 +206,8 @@ func Figure1(opts Options) ([]Series, error) {
 // Figure2 regenerates Figure 2: the ECCDFs of bs's 8 original
 // maximum-iteration paths and of the corresponding 8 pubbed paths; every
 // pubbed curve upper-bounds every original curve. The paper uses 10^6 runs
-// per path.
-func Figure2(opts Options) ([]Series, error) {
+// per path. The 16 campaigns are fanned out over one bounded pool.
+func Figure2(ctx context.Context, opts Options) ([]Series, error) {
 	b := malardalen.BS()
 	pubbed, _, err := pubTransform(b)
 	if err != nil {
@@ -166,16 +215,36 @@ func Figure2(opts Options) ([]Series, error) {
 	}
 	runs := opts.scaled(1000000, 3000)
 	model := proc.DefaultModel()
-	var out []Series
-	for _, in := range malardalen.BSMaxIterationInputs(b) {
-		orig := b.Program.MustExec(in)
-		sample := mbpta.Collect(orig.Trace, model, runs, mbpta.Seed("fig2/orig/"+in.Name), opts.Workers)
-		out = append(out, Series{Name: "orig/" + in.Name, Points: stats.NewECDF(sample).Points()})
+	inputs := malardalen.BSMaxIterationInputs(b)
+	out := make([]Series, 2*len(inputs))
+	outer, inner := pool.SplitWorkers(opts.budget(), len(out))
+	g, ctx := pool.WithContext(ctx)
+	g.SetLimit(outer)
+	for i, in := range inputs {
+		i, in := i, in
+		g.Go(func() error {
+			orig := b.Program.MustExec(in)
+			sample, err := mbpta.CollectCtx(ctx, orig.Trace, model, runs,
+				mbpta.Seed("fig2/orig/"+in.Name), inner, nil)
+			if err != nil {
+				return err
+			}
+			out[i] = Series{Name: "orig/" + in.Name, Points: stats.NewECDF(sample).Points()}
+			return nil
+		})
+		g.Go(func() error {
+			pr := pubbed.MustExec(in)
+			sample, err := mbpta.CollectCtx(ctx, pr.Trace, model, runs,
+				mbpta.Seed("fig2/pub/"+in.Name), inner, nil)
+			if err != nil {
+				return err
+			}
+			out[len(inputs)+i] = Series{Name: "pub/" + in.Name, Points: stats.NewECDF(sample).Points()}
+			return nil
+		})
 	}
-	for _, in := range malardalen.BSMaxIterationInputs(b) {
-		pr := pubbed.MustExec(in)
-		sample := mbpta.Collect(pr.Trace, model, runs, mbpta.Seed("fig2/pub/"+in.Name), opts.Workers)
-		out = append(out, Series{Name: "pub/" + in.Name, Points: stats.NewECDF(sample).Points()})
+	if err := g.Wait(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -194,14 +263,14 @@ type Figure4Result struct {
 // Figure4 regenerates Figure 4. With only R_pub runs the abrupt ECCDF knee
 // caused by a low-probability cache placement is missed; with R_pub+tac
 // runs it is captured and the pWCET upper-bounds it.
-func Figure4(opts Options) (*Figure4Result, error) {
+func Figure4(ctx context.Context, opts Options) (*Figure4Result, error) {
 	b := malardalen.BS()
 	a := core.New(opts.AnalyzerConfig())
 	in, err := b.Input("v9")
 	if err != nil {
 		return nil, err
 	}
-	pa, err := a.AnalyzePath(b.Program, in)
+	pa, err := a.AnalyzePathCtx(ctx, b.Program, in)
 	if err != nil {
 		return nil, err
 	}
@@ -211,7 +280,11 @@ func Figure4(opts Options) (*Figure4Result, error) {
 	}
 	res := pubbed.MustExec(in)
 	refRuns := opts.scaled(6000000, 20000)
-	ref := mbpta.Collect(res.Trace, proc.DefaultModel(), refRuns, mbpta.Seed("fig4/ref"), opts.Workers)
+	ref, err := mbpta.CollectCtx(ctx, res.Trace, proc.DefaultModel(), refRuns,
+		mbpta.Seed("fig4/ref"), opts.Workers, nil)
+	if err != nil {
+		return nil, err
+	}
 
 	out := &Figure4Result{
 		Reference: Series{Name: "ECCDF(6M-scaled)", Points: stats.NewECDF(ref).Points()},
@@ -240,25 +313,23 @@ type Figure5Row struct {
 	PTRatio   float64 // pWCET(PUB+TAC) / pWCET(orig) at 1e-12
 }
 
-// Figure5 regenerates Figure 5 for all 11 benchmarks.
-func Figure5(opts Options) ([]Figure5Row, error) {
+// Figure5 regenerates Figure 5 for all 11 benchmarks, fanning the 22
+// campaigns out over one bounded pool.
+func Figure5(ctx context.Context, opts Options) ([]Figure5Row, error) {
 	a := core.New(opts.AnalyzerConfig())
-	var rows []Figure5Row
-	for _, b := range malardalen.All() {
-		oa, err := a.AnalyzeOriginal(b.Program, b.Default())
-		if err != nil {
-			return nil, fmt.Errorf("figure5 %s (orig): %w", b.Name, err)
-		}
-		pa, err := a.AnalyzePath(b.Program, b.Default())
-		if err != nil {
-			return nil, fmt.Errorf("figure5 %s: %w", b.Name, err)
-		}
-		base := oa.Estimate.PWCET(1e-12)
-		rows = append(rows, Figure5Row{
+	bms := malardalen.All()
+	origs, pubs, err := originalsAndPaths(ctx, a, bms, opts.budget())
+	if err != nil {
+		return nil, fmt.Errorf("figure5: %w", err)
+	}
+	rows := make([]Figure5Row, len(bms))
+	for i, b := range bms {
+		base := origs[i].Estimate.PWCET(1e-12)
+		rows[i] = Figure5Row{
 			Benchmark: b.Name,
-			PubRatio:  pa.PubOnly.PWCET(1e-12) / base,
-			PTRatio:   pa.Full.PWCET(1e-12) / base,
-		})
+			PubRatio:  pubs[i].PubOnly.PWCET(1e-12) / base,
+			PTRatio:   pubs[i].Full.PWCET(1e-12) / base,
+		}
 	}
 	return rows, nil
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"testing"
 
 	"pubtac/internal/stats"
@@ -8,6 +9,52 @@ import (
 
 // tinyOpts keeps experiment tests fast.
 func tinyOpts() Options { return Options{Scale: 0.004} }
+
+// long marks a test that regenerates full tables/figures; in -short mode
+// those are covered by the TestSmoke fast path instead.
+func long(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("long experiment regeneration; TestSmoke covers -short")
+	}
+}
+
+// TestSmoke is the -short fast path: one multipath benchmark through every
+// generator family (table, figure, analytic) at the smallest usable scale,
+// so CI exercises the full plumbing in about a second.
+func TestSmoke(t *testing.T) {
+	ctx := context.Background()
+	opts := Options{Scale: 0.002}
+
+	rows, err := Table1(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("table1 rows = %d, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if r.RPTK < r.RPubK || r.PWCETPT <= 0 {
+			t.Fatalf("table1 implausible row: %+v", r)
+		}
+	}
+
+	series, err := Figure1(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 || len(series[0].Points) == 0 {
+		t.Fatalf("figure1 series malformed: %d", len(series))
+	}
+
+	r31, err := Section31()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r31.RPub311 != 84873 {
+		t.Fatalf("section 3.1 runs = %d, want 84873", r31.RPub311)
+	}
+}
 
 func TestSection31MatchesPaper(t *testing.T) {
 	r, err := Section31()
@@ -29,7 +76,8 @@ func TestSection31MatchesPaper(t *testing.T) {
 }
 
 func TestTable1ShapeAndProperties(t *testing.T) {
-	rows, err := Table1(tinyOpts())
+	long(t)
+	rows, err := Table1(context.Background(), tinyOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +95,8 @@ func TestTable1ShapeAndProperties(t *testing.T) {
 }
 
 func TestTable2ShapeAndProperties(t *testing.T) {
-	rows, err := Table2(tinyOpts())
+	long(t)
+	rows, err := Table2(context.Background(), tinyOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +119,8 @@ func TestTable2ShapeAndProperties(t *testing.T) {
 }
 
 func TestFigure1Shapes(t *testing.T) {
-	series, err := Figure1(tinyOpts())
+	long(t)
+	series, err := Figure1(context.Background(), tinyOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +144,8 @@ func TestFigure1Shapes(t *testing.T) {
 }
 
 func TestFigure2PubbedUpperBounds(t *testing.T) {
-	series, err := Figure2(tinyOpts())
+	long(t)
+	series, err := Figure2(context.Background(), tinyOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +181,8 @@ func TestFigure2PubbedUpperBounds(t *testing.T) {
 }
 
 func TestFigure4KneeCapture(t *testing.T) {
-	res, err := Figure4(tinyOpts())
+	long(t)
+	res, err := Figure4(context.Background(), tinyOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +207,8 @@ func TestFigure4KneeCapture(t *testing.T) {
 }
 
 func TestFigure5Categories(t *testing.T) {
-	rows, err := Figure5(tinyOpts())
+	long(t)
+	rows, err := Figure5(context.Background(), tinyOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,8 +263,9 @@ func TestScaledMinimums(t *testing.T) {
 }
 
 func TestSeriesUsableByECDF(t *testing.T) {
+	long(t)
 	// Sanity: series probabilities are monotone non-increasing in value.
-	series, err := Figure1(tinyOpts())
+	series, err := Figure1(context.Background(), tinyOpts())
 	if err != nil {
 		t.Fatal(err)
 	}

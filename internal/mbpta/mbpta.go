@@ -13,11 +13,13 @@
 package mbpta
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"pubtac/internal/evt"
 	"pubtac/internal/proc"
@@ -65,44 +67,96 @@ func DefaultConfig() Config {
 	}
 }
 
+// Progress observes campaign growth: done runs collected so far out of the
+// target (the target can grow across convergence rounds). Implementations
+// must be safe for concurrent calls; a nil Progress reports nothing.
+type Progress func(done, target int)
+
+// collectBlock is the work-stealing granularity of parallel campaigns: a
+// worker simulates this many runs between cancellation checks and progress
+// reports. Small enough to cancel a campaign within milliseconds, large
+// enough that the atomic dispatch cost is invisible next to a trace replay.
+const collectBlock = 64
+
 // Collect runs tr n times on the model with seeds derived from root and
 // returns execution times in run order. Runs are distributed over Workers
 // goroutines; the result is identical to a sequential campaign because run i
 // depends only on (root, i).
 func Collect(tr trace.Trace, model proc.Model, n int, root uint64, workers int) []float64 {
+	times, _ := CollectCtx(context.Background(), tr, model, n, root, workers, nil)
+	return times
+}
+
+// CollectCtx is Collect with cancellation and progress reporting: it stops
+// promptly (returning ctx.Err and a partially filled sample) when ctx is
+// cancelled, and reports completed runs through progress as blocks finish.
+func CollectCtx(ctx context.Context, tr trace.Trace, model proc.Model, n int,
+	root uint64, workers int, progress Progress) ([]float64, error) {
 	if n <= 0 {
-		return nil
+		return nil, ctx.Err()
+	}
+	times := make([]float64, n)
+	err := collectInto(ctx, tr, model, times, root, 0, workers, progress, n)
+	return times, err
+}
+
+// collectInto fills dst with runs offset..offset+len(dst)-1 of the campaign
+// rooted at root, fanning the blocks out over workers goroutines. Workers
+// pull fixed-size blocks from a shared counter, so load balances even when
+// per-run cost varies; between blocks they check ctx and report progress
+// (done counts completed runs across the whole campaign, offset included).
+func collectInto(ctx context.Context, tr trace.Trace, model proc.Model,
+	dst []float64, root uint64, offset, workers int, progress Progress, target int) error {
+	n := len(dst)
+	if n == 0 {
+		return ctx.Err()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > n {
-		workers = n
+	if max := (n + collectBlock - 1) / collectBlock; workers > max {
+		workers = max
 	}
-	times := make([]float64, n)
+	var next, done atomic.Int64
+	done.Store(int64(offset))
+	body := func(eng *proc.Engine) error {
+		for {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			lo := int(next.Add(collectBlock)) - collectBlock
+			if lo >= n {
+				return nil
+			}
+			hi := lo + collectBlock
+			if hi > n {
+				hi = n
+			}
+			eng.CampaignInto(tr, dst[lo:hi], root, offset+lo)
+			if progress != nil {
+				progress(int(done.Add(int64(hi-lo))), target)
+			}
+		}
+	}
 	if workers == 1 {
-		proc.NewEngine(model).CampaignInto(tr, times, root, 0)
-		return times
+		return body(proc.NewEngine(model))
 	}
 	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
+	errs := make([]error, workers)
 	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w int) {
 			defer wg.Done()
-			proc.NewEngine(model).CampaignInto(tr, times[lo:hi], root, lo)
-		}(lo, hi)
+			errs[w] = body(proc.NewEngine(model))
+		}(w)
 	}
 	wg.Wait()
-	return times
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Estimate is a fitted pWCET model plus its diagnostics.
@@ -161,11 +215,22 @@ type Convergence struct {
 // run count MBPTA needs on this program — the paper's R_pub (pubbed
 // programs) or R_orig (original programs).
 func Converge(tr trace.Trace, model proc.Model, cfg Config, root uint64) (*Convergence, error) {
+	return ConvergeCtx(context.Background(), tr, model, cfg, root, nil)
+}
+
+// ConvergeCtx is Converge with cancellation and progress reporting. The
+// progress target grows by Increment per round until the estimate
+// stabilizes, so target is a moving lower bound on the final run count.
+func ConvergeCtx(ctx context.Context, tr trace.Trace, model proc.Model, cfg Config,
+	root uint64, progress Progress) (*Convergence, error) {
 	if cfg.InitialRuns < 20 {
 		return nil, fmt.Errorf("mbpta: InitialRuns %d too small", cfg.InitialRuns)
 	}
 	n := cfg.InitialRuns
-	sample := Collect(tr, model, n, root, cfg.Workers)
+	sample, err := CollectCtx(ctx, tr, model, n, root, cfg.Workers, progress)
+	if err != nil {
+		return nil, err
+	}
 	est, err := NewEstimate(sample, cfg)
 	if err != nil {
 		return nil, err
@@ -175,7 +240,10 @@ func Converge(tr trace.Trace, model proc.Model, cfg Config, root uint64) (*Conve
 	rounds := 0
 	for n < cfg.MaxRuns {
 		// Extend deterministically: the new runs use seeds n..n+inc-1.
-		sample = extend(tr, model, sample, cfg.Increment, root, cfg.Workers)
+		sample, err = extendCtx(ctx, tr, model, sample, cfg.Increment, root, cfg.Workers, progress)
+		if err != nil {
+			return nil, err
+		}
 		n = len(sample)
 		rounds++
 		est, err = NewEstimate(sample, cfg)
@@ -198,37 +266,18 @@ func Converge(tr trace.Trace, model proc.Model, cfg Config, root uint64) (*Conve
 
 // extend appends inc new runs (seed indices len(sample)..) to sample.
 func extend(tr trace.Trace, model proc.Model, sample []float64, inc int, root uint64, workers int) []float64 {
+	out, _ := extendCtx(context.Background(), tr, model, sample, inc, root, workers, nil)
+	return out
+}
+
+// extendCtx appends inc new runs to sample, cancellably. The new runs'
+// progress target is the extended sample size.
+func extendCtx(ctx context.Context, tr trace.Trace, model proc.Model, sample []float64,
+	inc int, root uint64, workers int, progress Progress) ([]float64, error) {
 	start := len(sample)
 	out := append(sample, make([]float64, inc)...)
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > inc {
-		workers = inc
-	}
-	if workers == 1 {
-		proc.NewEngine(model).CampaignInto(tr, out[start:], root, start)
-		return out
-	}
-	var wg sync.WaitGroup
-	chunk := (inc + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > inc {
-			hi = inc
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			proc.NewEngine(model).CampaignInto(tr, out[start+lo:start+hi], root, start+lo)
-		}(lo, hi)
-	}
-	wg.Wait()
-	return out
+	err := collectInto(ctx, tr, model, out[start:], root, start, workers, progress, len(out))
+	return out, err
 }
 
 func relDiff(a, b float64) float64 {

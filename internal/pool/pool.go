@@ -1,0 +1,103 @@
+// Package pool provides a bounded-concurrency task group with
+// first-error propagation and context cancellation — the coordination
+// primitive behind the batch engine (core.AnalyzeBatch) and the parallel
+// experiment generators. It mirrors the errgroup idiom from
+// golang.org/x/sync without the external dependency.
+package pool
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Group runs a collection of tasks on a bounded number of goroutines.
+// The zero value is unusable; construct with WithContext.
+type Group struct {
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	sem     chan struct{}
+	errOnce sync.Once
+	err     error
+}
+
+// WithContext returns a Group and a derived context that is cancelled the
+// first time a task returns a non-nil error or panics, or when Wait
+// returns. Tasks should watch the derived context to stop early.
+func WithContext(ctx context.Context) (*Group, context.Context) {
+	ctx, cancel := context.WithCancel(ctx)
+	return &Group{cancel: cancel}, ctx
+}
+
+// SetLimit bounds the number of concurrently running tasks. It must be
+// called before the first Go. A limit of 0 or less means unbounded.
+func (g *Group) SetLimit(n int) {
+	if n <= 0 {
+		g.sem = nil
+		return
+	}
+	g.sem = make(chan struct{}, n)
+}
+
+// Go schedules f. If the concurrency limit is reached, Go blocks until a
+// slot frees up — callers therefore never build an unbounded goroutine
+// backlog. The first non-nil error cancels the group's context; later
+// errors are discarded.
+func (g *Group) Go(f func() error) {
+	if g.sem != nil {
+		g.sem <- struct{}{}
+	}
+	g.wg.Add(1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				g.report(fmt.Errorf("pool: task panicked: %v", r))
+			}
+			if g.sem != nil {
+				<-g.sem
+			}
+			g.wg.Done()
+		}()
+		if err := f(); err != nil {
+			g.report(err)
+		}
+	}()
+}
+
+// Wait blocks until every scheduled task has returned, then releases the
+// group's context and reports the first error.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	g.cancel()
+	return g.err
+}
+
+func (g *Group) report(err error) {
+	g.errOnce.Do(func() {
+		g.err = err
+		g.cancel()
+	})
+}
+
+// SplitWorkers divides a total worker budget between an outer fan-out of
+// tasks and the inner parallelism of each task: outer is min(total,
+// tasks) and inner is the per-task share of the remainder, at least 1.
+// Both layers together keep roughly `total` goroutines busy without
+// oversubscribing the machine.
+func SplitWorkers(total, tasks int) (outer, inner int) {
+	if total < 1 {
+		total = 1
+	}
+	if tasks < 1 {
+		tasks = 1
+	}
+	outer = total
+	if tasks < outer {
+		outer = tasks
+	}
+	inner = total / outer
+	if inner < 1 {
+		inner = 1
+	}
+	return outer, inner
+}

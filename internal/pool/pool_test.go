@@ -1,0 +1,97 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGroupRunsAllTasks(t *testing.T) {
+	g, _ := WithContext(context.Background())
+	g.SetLimit(3)
+	var n atomic.Int64
+	for i := 0; i < 50; i++ {
+		g.Go(func() error {
+			n.Add(1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 50 {
+		t.Fatalf("ran %d tasks, want 50", n.Load())
+	}
+}
+
+func TestGroupHonorsLimit(t *testing.T) {
+	g, _ := WithContext(context.Background())
+	g.SetLimit(4)
+	var cur, peak atomic.Int64
+	for i := 0; i < 40; i++ {
+		g.Go(func() error {
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 4 {
+		t.Fatalf("observed %d concurrent tasks, limit 4", p)
+	}
+}
+
+func TestGroupFirstErrorCancels(t *testing.T) {
+	g, ctx := WithContext(context.Background())
+	g.SetLimit(2)
+	boom := errors.New("boom")
+	g.Go(func() error { return boom })
+	g.Go(func() error {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(5 * time.Second):
+			return errors.New("cancellation not propagated")
+		}
+	})
+	if err := g.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestGroupRecoversPanics(t *testing.T) {
+	g, _ := WithContext(context.Background())
+	g.Go(func() error { panic("kaboom") })
+	if err := g.Wait(); err == nil {
+		t.Fatal("expected an error from a panicking task")
+	}
+}
+
+func TestSplitWorkers(t *testing.T) {
+	cases := []struct{ total, tasks, outer, inner int }{
+		{8, 11, 8, 1},
+		{8, 2, 2, 4},
+		{8, 8, 8, 1},
+		{1, 16, 1, 1},
+		{0, 5, 1, 1},
+		{16, 3, 3, 5},
+	}
+	for _, c := range cases {
+		o, i := SplitWorkers(c.total, c.tasks)
+		if o != c.outer || i != c.inner {
+			t.Errorf("SplitWorkers(%d, %d) = (%d, %d), want (%d, %d)",
+				c.total, c.tasks, o, i, c.outer, c.inner)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package pubtac
+
+import (
+	"pubtac/internal/core"
+)
+
+// ProgressEvent reports campaign growth for one analyzed path; see
+// WithProgress. Target can grow between events while MBPTA convergence
+// extends its own requirement and when the TAC campaign raises it to R.
+type ProgressEvent = core.ProgressEvent
+
+// Option configures a Session; see NewSession.
+type Option func(*sessionSettings)
+
+// sessionSettings accumulates option values before a Session is built.
+type sessionSettings struct {
+	cfg        core.Config
+	workers    int
+	workersSet bool
+	scale      float64
+	capSet     bool
+	progress   func(ProgressEvent)
+}
+
+// WithConfig replaces the session's entire pipeline configuration (platform
+// model, MBPTA and TAC parameters, campaign cap). Later options still apply
+// on top; use it as an escape hatch when the dedicated options don't reach
+// a knob.
+func WithConfig(cfg Config) Option {
+	return func(s *sessionSettings) {
+		s.cfg = cfg
+		s.capSet = true
+	}
+}
+
+// WithModel sets the simulated platform (caches and latencies). The default
+// is the paper's 4KB 2-way 32B-line IL1/DL1 with random placement and
+// replacement.
+func WithModel(m Model) Option {
+	return func(s *sessionSettings) { s.cfg.Model = m }
+}
+
+// WithWorkers bounds the session's total simulation parallelism across all
+// concurrently analyzed paths (0, the default, means GOMAXPROCS). Results
+// are deterministic and independent of the worker count.
+func WithWorkers(n int) Option {
+	return func(s *sessionSettings) {
+		s.workers = n
+		s.workersSet = true
+	}
+}
+
+// WithScale shrinks (or grows) every campaign proportionally: MBPTA's
+// initial runs, increment and convergence ceiling are multiplied by scale.
+// Scale 1.0 (the default) reproduces paper-size campaigns; 0.05 is a
+// laptop-friendly setting. Analytic outputs (TAC run requirements,
+// probabilities) are exact at every scale.
+//
+// Unless WithCampaignCap or WithConfig sets a cap explicitly, the session
+// caps each path's simulated runs at the scaled equivalent of the
+// evaluation's 7×10^5-run campaign (so 7×10^5 at scale 1.0); an explicit
+// cap is always honored verbatim.
+func WithScale(scale float64) Option {
+	return func(s *sessionSettings) { s.scale = scale }
+}
+
+// WithCampaignCap bounds the number of runs actually simulated per path
+// (0 = no cap). Reported requirements (RPub, RTac, R) are unaffected; only
+// the measured sample is truncated.
+func WithCampaignCap(n int) Option {
+	return func(s *sessionSettings) {
+		s.cfg.CampaignCap = n
+		s.capSet = true
+	}
+}
+
+// WithSeed salts every campaign root seed, giving this session campaigns
+// statistically independent from (but just as reproducible as) the default
+// ones. Seed 0, the default, reproduces the historical per-path seeds.
+func WithSeed(seed uint64) Option {
+	return func(s *sessionSettings) { s.cfg.SeedSalt = seed }
+}
+
+// WithProgress installs a campaign progress sink. Events arrive serialized
+// (one call at a time) but from analysis goroutines, not the caller's;
+// the callback must not block for long, or it stalls the campaigns.
+func WithProgress(fn func(ProgressEvent)) Option {
+	return func(s *sessionSettings) { s.progress = fn }
+}
+
+// defaultSettings returns the paper's evaluation setup at full scale.
+func defaultSettings() *sessionSettings {
+	return &sessionSettings{cfg: core.DefaultConfig(), scale: 1.0}
+}
+
+// build finalizes the settings into a core configuration. The scaling
+// policy itself lives in core.Config.Scaled, shared with the experiment
+// generators.
+func (s *sessionSettings) build() core.Config {
+	cfg := s.cfg
+	scaledCfg := cfg.Scaled(s.scale)
+	if s.scale != 1.0 {
+		// At scale 1.0 the MBPTA knobs are left exactly as configured
+		// (Scaled would floor a deliberately tiny WithConfig campaign).
+		cfg.MBPTA = scaledCfg.MBPTA
+	}
+	// An explicit cap (WithCampaignCap, WithConfig) is honored verbatim;
+	// otherwise the session caps campaigns at the scaled equivalent of the
+	// evaluation's 7e5-run campaign, continuously in the scale.
+	if !s.capSet {
+		cfg.CampaignCap = scaledCfg.CampaignCap
+	}
+	if s.workersSet {
+		cfg.MBPTA.Workers = s.workers
+	} else {
+		s.workers = cfg.MBPTA.Workers
+	}
+	return cfg
+}

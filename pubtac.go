@@ -22,10 +22,16 @@
 // # Quick start
 //
 //	bench, _ := pubtac.Benchmark("bs")
-//	an := pubtac.NewAnalyzer(pubtac.DefaultConfig())
-//	res, _ := an.AnalyzePath(bench.Program, bench.Default())
+//	s := pubtac.NewSession(pubtac.WithScale(0.05))
+//	res, _ := s.AnalyzePath(context.Background(), bench.Program, bench.Default())
 //	fmt.Printf("pWCET@1e-12 = %.0f cycles with %d runs\n",
 //	    res.PWCET(1e-12), res.R)
+//
+// Sessions are context-aware (campaigns are cancellable and
+// deadline-bounded), report progress (WithProgress), and run whole
+// campaigns concurrently: AnalyzeBatch fans benchmarks × paths out over a
+// bounded worker pool, deduplicating the PUB transform per program.
+// Results are deterministic at any worker count.
 //
 // The underlying building blocks (program IR, cache/processor simulator,
 // statistics) are re-exported below for programmatic use; see the
@@ -82,9 +88,18 @@ type Estimate = mbpta.Estimate
 // DefaultConfig returns the paper's evaluation setup: 4KB 2-way 32B-line
 // IL1/DL1 with random placement and replacement, MBPTA-CV estimation, and
 // TAC with a 10^-9 miss probability.
+//
+// Deprecated: construct a Session with NewSession and functional options
+// (WithModel, WithScale, WithCampaignCap, ...). DefaultConfig remains for
+// code that still drives the pipeline through NewAnalyzer, and as input to
+// WithConfig.
 func DefaultConfig() Config { return core.DefaultConfig() }
 
 // NewAnalyzer returns an analyzer for the configuration.
+//
+// Deprecated: use NewSession. Sessions add context cancellation, progress
+// reporting and concurrent batch campaigns; NewAnalyzer remains as a thin
+// synchronous shim over the same pipeline.
 func NewAnalyzer(cfg Config) *Analyzer { return core.New(cfg) }
 
 // DefaultModel returns the paper's platform model.

@@ -1,0 +1,159 @@
+package pubtac
+
+import (
+	"encoding/json"
+	"math"
+
+	"pubtac/internal/core"
+	"pubtac/internal/stats"
+)
+
+// PWCETPoint is one point of a serialized pWCET curve.
+type PWCETPoint struct {
+	Prob   float64 `json:"prob"`
+	Cycles float64 `json:"cycles"`
+}
+
+// resultProbes are the exceedance probabilities serialized into every
+// Result's curve: one point per decade down to the certification-relevant
+// 10^-12 per run.
+var resultProbes = []float64{
+	1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6,
+	1e-7, 1e-8, 1e-9, 1e-10, 1e-11, 1e-12,
+}
+
+// Result is the JSON-serializable outcome of the pipeline on one pubbed
+// path. It flattens the numbers a service or CLI consumer needs; the full
+// in-memory analysis (estimates, samples, TAC classes) stays reachable via
+// Analysis for programmatic use and is not serialized.
+type Result struct {
+	Program  string `json:"program"`
+	Input    string `json:"input"`
+	Path     string `json:"path,omitempty"`
+	RPub     int    `json:"r_pub"`     // runs required by MBPTA convergence
+	RTac     int    `json:"r_tac"`     // runs required by TAC
+	R        int    `json:"r"`         // max(RPub, RTac)
+	RunsUsed int    `json:"runs_used"` // runs actually simulated
+
+	PubConstructs int     `json:"pub_constructs"`  // conditionals balanced by PUB
+	PubCodeGrowth float64 `json:"pub_code_growth"` // pubbed/original code size
+	TACClasses    int     `json:"tac_classes"`     // TAC conflict classes found
+
+	MaxObserved float64      `json:"max_observed"` // highest measured time (cycles)
+	Curve       []PWCETPoint `json:"pwcet_curve"`  // PUB+TAC pWCET per decade
+
+	analysis *core.PathAnalysis
+}
+
+// newResult flattens a PathAnalysis.
+func newResult(pa *core.PathAnalysis) *Result {
+	r := &Result{
+		Program:       pa.Program,
+		Input:         pa.Input.Name,
+		Path:          pa.Path,
+		RPub:          pa.RPub,
+		RTac:          pa.RTac,
+		R:             pa.R,
+		RunsUsed:      pa.RunsUsed,
+		PubConstructs: pa.PubReport.Constructs,
+		PubCodeGrowth: pa.PubReport.CodeGrowth(),
+		TACClasses:    len(pa.TAC.Classes),
+		MaxObserved:   stats.Max(pa.Full.Sample),
+		analysis:      pa,
+	}
+	r.Curve = make([]PWCETPoint, len(resultProbes))
+	for i, p := range resultProbes {
+		r.Curve[i] = PWCETPoint{Prob: p, Cycles: pa.Full.PWCET(p)}
+	}
+	return r
+}
+
+// Analysis returns the full in-memory analysis behind the result, or nil
+// for results decoded from JSON.
+func (r *Result) Analysis() *PathAnalysis { return r.analysis }
+
+// PWCET returns the PUB+TAC pWCET estimate at exceedance probability p.
+// Results decoded from JSON interpolate the serialized curve (log-linear in
+// log10(p), clamped to the curve's probability range).
+func (r *Result) PWCET(p float64) float64 {
+	if r.analysis != nil {
+		return r.analysis.PWCET(p)
+	}
+	return interpCurve(r.Curve, p)
+}
+
+// interpCurve evaluates a serialized pWCET curve at probability p.
+func interpCurve(curve []PWCETPoint, p float64) float64 {
+	if len(curve) == 0 {
+		return math.NaN()
+	}
+	if p >= curve[0].Prob {
+		return curve[0].Cycles
+	}
+	last := curve[len(curve)-1]
+	if p <= last.Prob {
+		return last.Cycles
+	}
+	lp := math.Log10(p)
+	for i := 1; i < len(curve); i++ {
+		a, b := curve[i-1], curve[i]
+		la, lb := math.Log10(a.Prob), math.Log10(b.Prob)
+		if lp >= lb {
+			t := (lp - la) / (lb - la)
+			return a.Cycles + t*(b.Cycles-a.Cycles)
+		}
+	}
+	return last.Cycles
+}
+
+// MultiResult aggregates the results of several pubbed paths of one
+// program. Per Corollary 2 every path's estimate is a reliable bound, so
+// the per-probability minimum is the bound of record.
+type MultiResult struct {
+	Results []*Result `json:"results"`
+}
+
+// PWCET returns the minimum pWCET across the analyzed paths at exceedance
+// probability p (Corollary 2), or NaN when there are no results.
+func (m *MultiResult) PWCET(p float64) float64 {
+	best := m.Best(p)
+	if best == nil {
+		return math.NaN()
+	}
+	return best.PWCET(p)
+}
+
+// Best returns the path result whose estimate is lowest at probability p,
+// or nil when there are no results.
+func (m *MultiResult) Best(p float64) *Result {
+	if len(m.Results) == 0 {
+		return nil
+	}
+	best := m.Results[0]
+	for _, r := range m.Results[1:] {
+		if r.PWCET(p) < best.PWCET(p) {
+			best = r
+		}
+	}
+	return best
+}
+
+// BatchResult is the outcome of Session.AnalyzeBatch: one MultiResult per
+// job, in job order.
+type BatchResult struct {
+	Jobs []*MultiResult `json:"jobs"`
+}
+
+// All returns every path result across all jobs, in job then input order.
+func (b *BatchResult) All() []*Result {
+	var out []*Result
+	for _, j := range b.Jobs {
+		out = append(out, j.Results...)
+	}
+	return out
+}
+
+// JSON renders the batch result as indented JSON.
+func (b *BatchResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(b, "", "  ")
+}
