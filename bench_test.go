@@ -18,6 +18,7 @@ import (
 	"pubtac/internal/mbpta"
 	"pubtac/internal/proc"
 	"pubtac/internal/pub"
+	"pubtac/internal/stats"
 	"pubtac/internal/tac"
 	"pubtac/internal/trace"
 )
@@ -214,7 +215,9 @@ func BenchmarkAblationPlacementHash(b *testing.B) {
 }
 
 // BenchmarkAblationTailFit compares the exponential-tail (MBPTA-CV) fit
-// with the Gumbel block-maxima fit on the same campaign.
+// with the Gumbel block-maxima fit on the same campaign, plus the
+// sort-once entry point the convergence loop uses (one shared ascending
+// sort for all candidate tails and CV tests).
 func BenchmarkAblationTailFit(b *testing.B) {
 	bm := malardalen.CNT()
 	tr := bm.Program.MustExec(bm.Default()).Trace
@@ -226,6 +229,15 @@ func BenchmarkAblationTailFit(b *testing.B) {
 			}
 		}
 	})
+	b.Run("exptail-cv-sorted", func(b *testing.B) {
+		sorted := stats.SortedCopy(sample)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := evt.FitExpTailAutoSorted(sorted, 10, len(sorted)/5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	b.Run("gumbel-bm", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := evt.FitGumbel(sample, 50); err != nil {
@@ -233,6 +245,32 @@ func BenchmarkAblationTailFit(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkAblationCompiledReplay contrasts the compiled-trace fast path
+// against the uncompiled reference replay on the same campaign (the two
+// are bit-identical; see internal/proc's equivalence tests).
+func BenchmarkAblationCompiledReplay(b *testing.B) {
+	bm := malardalen.BS()
+	pubbed, _, err := pub.Transform(bm.Program)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := pubbed.MustExec(bm.Default()).Trace
+	for _, arm := range []struct {
+		name      string
+		reference bool
+	}{{"compiled", false}, {"reference", true}} {
+		arm := arm
+		b.Run(arm.name, func(b *testing.B) {
+			e := proc.NewEngine(proc.DefaultModel())
+			e.UseReference(arm.reference)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Run(tr, uint64(i))
+			}
+		})
+	}
 }
 
 // BenchmarkAblationMissJitter measures the cost of the optional randomized

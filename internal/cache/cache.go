@@ -66,6 +66,17 @@ func DefaultL1() Config {
 // SizeBytes returns the total capacity of the configuration.
 func (c Config) SizeBytes() int { return c.Sets * c.Ways * c.LineBytes }
 
+// LineShift returns log2(LineBytes), the byte-address-to-line shift. The
+// cache and the compiled replay of package proc share it so their line
+// projections cannot diverge.
+func (c Config) LineShift() uint {
+	var s uint
+	for b := c.LineBytes; b > 1; b >>= 1 {
+		s++
+	}
+	return s
+}
+
 // Validate reports a descriptive error for unusable configurations.
 func (c Config) Validate() error {
 	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
@@ -112,14 +123,12 @@ func New(cfg Config, seed uint64) *Cache {
 		panic(err)
 	}
 	c := &Cache{
-		cfg:     cfg,
-		lines:   make([]uint64, cfg.Sets*cfg.Ways),
-		valid:   make([]bool, cfg.Sets*cfg.Ways),
-		lruTick: make([]uint64, cfg.Sets*cfg.Ways),
-		setMask: uint64(cfg.Sets - 1),
-	}
-	for b := cfg.LineBytes; b > 1; b >>= 1 {
-		c.lineBits++
+		cfg:      cfg,
+		lines:    make([]uint64, cfg.Sets*cfg.Ways),
+		valid:    make([]bool, cfg.Sets*cfg.Ways),
+		lruTick:  make([]uint64, cfg.Sets*cfg.Ways),
+		setMask:  uint64(cfg.Sets - 1),
+		lineBits: cfg.LineShift(),
 	}
 	c.Reseed(seed)
 	return c
@@ -130,10 +139,15 @@ func (c *Cache) Config() Config { return c.cfg }
 
 // Reseed starts a new run: it redraws the placement hash key and the
 // replacement random stream from seed, and flushes the contents (the
-// evaluation flushes cache content before each run).
+// evaluation flushes cache content before each run). The replacement
+// generator is reseeded in place, so Reseed does not allocate.
 func (c *Cache) Reseed(seed uint64) {
 	c.seed = rng.Mix64(seed ^ 0xCAC4E)
-	c.rand = rng.New(rng.Mix64(seed ^ 0x5EED1ACE))
+	if c.rand == nil {
+		c.rand = rng.New(rng.Mix64(seed ^ 0x5EED1ACE))
+	} else {
+		c.rand.Reseed(rng.Mix64(seed ^ 0x5EED1ACE))
+	}
 	c.Flush()
 }
 
@@ -147,6 +161,27 @@ func (c *Cache) Flush() {
 
 // SetPin installs (or clears, with nil) a forced placement.
 func (c *Cache) SetPin(p *Pin) { c.pin = p }
+
+// Rand returns the replacement random stream of the current run. The
+// compiled replay draws victims from this generator so that its decisions
+// are bit-identical to AccessLine's and the post-run generator state
+// matches the reference engine exactly.
+func (c *Cache) Rand() *rng.Xoshiro256 { return c.rand }
+
+// RunState exposes the raw per-way state arrays (lines, valid, lruTick),
+// indexed by set*Ways+way. The compiled replay writes the end-of-run state
+// back through these slices so that the cache contents after a compiled run
+// are bit-identical to a reference replay. Callers must not resize the
+// slices.
+func (c *Cache) RunState() (lines []uint64, valid []bool, lruTick []uint64) {
+	return c.lines, c.valid, c.lruTick
+}
+
+// SetCounters overwrites the access counters; the compiled replay uses it
+// to report its hit/miss totals through the regular Hits/Misses accessors.
+func (c *Cache) SetCounters(tick, hits, misses uint64) {
+	c.tick, c.hits, c.misses = tick, hits, misses
+}
 
 // SetOf returns the set index the current run maps line to.
 func (c *Cache) SetOf(line uint64) int {

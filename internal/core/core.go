@@ -31,6 +31,7 @@ import (
 	"pubtac/internal/proc"
 	"pubtac/internal/program"
 	"pubtac/internal/pub"
+	"pubtac/internal/stats"
 	"pubtac/internal/tac"
 )
 
@@ -212,12 +213,20 @@ func (a *Analyzer) analyzeOn(ctx context.Context, pubbed *program.Program, name 
 		a.done(name, in.Name, pa.RunsUsed)
 		return pa, nil
 	}
-	sample, err := mbpta.CollectCtx(ctx, res.Trace, a.cfg.Model, pa.RunsUsed, root,
+	// TAC demands more runs than MBPTA needed. Campaign run i depends only
+	// on (root, i), so the converged sample is exactly the prefix of the
+	// R-run campaign: extend it with runs conv.Runs..R-1 instead of
+	// re-simulating the converged prefix from scratch (bit-identical, and
+	// the convergence runs are no longer paid for twice). The converged
+	// sorted view is reused the same way: sort the extension, merge.
+	prefix := conv.Estimate.Sample
+	sample, err := mbpta.ExtendToCtx(ctx, res.Trace, a.cfg.Model, prefix, pa.RunsUsed, root,
 		workers, a.progressFn(name, in.Name, "campaign"))
 	if err != nil {
 		return nil, fmt.Errorf("core: campaign on %s(%s): %w", name, in.Name, err)
 	}
-	full, err := mbpta.NewEstimate(sample, a.cfg.MBPTA)
+	sorted := stats.MergeSorted(conv.Sorted, stats.SortedCopy(sample[len(prefix):]))
+	full, err := mbpta.NewEstimateSorted(sample, sorted, a.cfg.MBPTA)
 	if err != nil {
 		return nil, fmt.Errorf("core: estimating %s(%s): %w", name, in.Name, err)
 	}

@@ -20,7 +20,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"pubtac/internal/stats"
 )
@@ -60,7 +59,14 @@ type ExpTail struct {
 // It returns ErrSampleTooSmall when fewer than 10 exceedances are available
 // or the excesses are degenerate.
 func FitExpTail(sample []float64, tailCount int) (*ExpTail, error) {
-	n := len(sample)
+	return FitExpTailSorted(stats.SortedCopy(sample), tailCount)
+}
+
+// FitExpTailSorted is FitExpTail over an already ascending-sorted sample.
+// All candidate tails of a threshold scan share one sort through this
+// entry point (the scan used to pay one copy + sort per candidate).
+func FitExpTailSorted(s []float64, tailCount int) (*ExpTail, error) {
+	n := len(s)
 	if n < 20 || tailCount < 10 {
 		return nil, ErrSampleTooSmall
 	}
@@ -70,8 +76,6 @@ func FitExpTail(sample []float64, tailCount int) (*ExpTail, error) {
 			return nil, ErrSampleTooSmall
 		}
 	}
-	s := append([]float64(nil), sample...)
-	sort.Float64s(s)
 	u := s[n-tailCount-1] // threshold: leaves exactly tailCount order statistics above
 	// Excesses of the top tailCount order statistics over u. Ties with u
 	// contribute zero excess; this keeps the fit defined for degenerate
@@ -206,7 +210,16 @@ func (g *Gumbel) String() string {
 // composite curve already upper-bounds everything observed.
 // Candidates grow geometrically from minTail to maxTail.
 func FitExpTailAuto(sample []float64, minTail, maxTail int) (*ExpTail, CVTest, error) {
-	n := len(sample)
+	return FitExpTailAutoSorted(stats.SortedCopy(sample), minTail, maxTail)
+}
+
+// FitExpTailAutoSorted is FitExpTailAuto over an already ascending-sorted
+// sample: the sort is shared by every candidate fit and CV test, turning
+// the threshold scan from O(candidates · n log n) into one O(n log n) sort
+// (done by the caller, or incrementally maintained across campaign rounds)
+// plus O(tail) work per candidate.
+func FitExpTailAutoSorted(sorted []float64, minTail, maxTail int) (*ExpTail, CVTest, error) {
+	n := len(sorted)
 	if maxTail > n/2 {
 		maxTail = n / 2
 	}
@@ -223,9 +236,9 @@ func FitExpTailAuto(sample []float64, minTail, maxTail int) (*ExpTail, CVTest, e
 		if tc > maxTail {
 			tc = maxTail
 		}
-		fit, err := FitExpTail(sample, tc)
+		fit, err := FitExpTailSorted(sorted, tc)
 		if err == nil {
-			cv := CheckCV(sample, tc)
+			cv := CheckCVSorted(sorted, tc)
 			if cv.Accepted() {
 				// Smallest accepted threshold: done.
 				return fit, cv, nil
@@ -260,17 +273,39 @@ func (c CVTest) Accepted() bool { return c.CV >= c.Lo && c.CV <= c.Hi }
 // CheckCV runs the CV exponentiality test on the top tailCount values of
 // sample, with a 99% confidence band (z=2.5758).
 func CheckCV(sample []float64, tailCount int) CVTest {
-	top := stats.TopK(sample, tailCount+1)
-	if len(top) < 3 {
-		return CVTest{CV: 1, Lo: 0, Hi: 2, NTail: len(top)}
+	return CheckCVSorted(stats.SortedCopy(sample), tailCount)
+}
+
+// CheckCVSorted is CheckCV over an already ascending-sorted sample. The
+// top-(tailCount+1) order statistics are read off the end of the slice
+// instead of being extracted by a full reverse sort, and the excess moments
+// are accumulated in the same largest-first order the reverse-sorted
+// implementation used, so the result is bit-identical.
+func CheckCVSorted(sorted []float64, tailCount int) CVTest {
+	n := len(sorted)
+	k := tailCount + 1
+	if k > n {
+		k = n
 	}
-	u := top[len(top)-1]
-	excesses := make([]float64, 0, len(top)-1)
-	for _, v := range top[:len(top)-1] {
-		excesses = append(excesses, v-u)
+	if k < 3 {
+		return CVTest{CV: 1, Lo: 0, Hi: 2, NTail: k}
 	}
-	cv := stats.CV(excesses)
-	n := float64(len(excesses))
+	u := sorted[n-k]
+	m := k - 1 // excesses: the k-1 order statistics strictly above position n-k
+	var sum float64
+	for i := n - 1; i >= n-m; i-- {
+		sum += sorted[i] - u
+	}
+	mean := sum / float64(m)
+	var cv float64
+	if mean != 0 {
+		var ss float64
+		for i := n - 1; i >= n-m; i-- {
+			d := (sorted[i] - u) - mean
+			ss += d * d
+		}
+		cv = math.Sqrt(ss/float64(m-1)) / mean
+	}
 	const z = 2.5758293035489004 // 99% two-sided normal quantile
-	return CVTest{CV: cv, Lo: 1 - z/math.Sqrt(n), Hi: 1 + z/math.Sqrt(n), NTail: len(excesses)}
+	return CVTest{CV: cv, Lo: 1 - z/math.Sqrt(float64(m)), Hi: 1 + z/math.Sqrt(float64(m)), NTail: m}
 }

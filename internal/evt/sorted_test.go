@@ -1,0 +1,79 @@
+package evt
+
+import (
+	"math"
+	"testing"
+
+	"pubtac/internal/rng"
+	"pubtac/internal/stats"
+)
+
+// synthetic returns a deterministic mixed sample: an exponential-ish bulk
+// with a handful of heavy outliers and ties, the shapes the tail selector
+// has to deal with.
+func synthetic(n int, seed uint64) []float64 {
+	gen := rng.New(seed)
+	s := make([]float64, n)
+	for i := range s {
+		v := 1000 + 200*math.Log(1/(1-gen.Float64()))
+		if gen.Intn(50) == 0 {
+			v += float64(gen.Intn(500)) // conflictive-placement cluster
+		}
+		if gen.Intn(7) == 0 {
+			v = math.Floor(v) // inject ties
+		}
+		s[i] = v
+	}
+	return s
+}
+
+// TestSortedVariantsBitIdentical checks that the sort-once entry points
+// produce bit-identical fits and CV tests to the copy-and-sort-per-call
+// wrappers, across sample sizes and tail counts (including tie-heavy and
+// degenerate samples).
+func TestSortedVariantsBitIdentical(t *testing.T) {
+	for _, n := range []int{50, 400, 3000} {
+		sample := synthetic(n, uint64(n))
+		sorted := stats.SortedCopy(sample)
+		for _, tc := range []int{10, 25, n / 5} {
+			fa, erra := FitExpTail(sample, tc)
+			fb, errb := FitExpTailSorted(sorted, tc)
+			if (erra == nil) != (errb == nil) {
+				t.Fatalf("n=%d tc=%d: error mismatch %v vs %v", n, tc, erra, errb)
+			}
+			if erra == nil && *fa != *fb {
+				t.Fatalf("n=%d tc=%d: FitExpTail %+v, sorted %+v", n, tc, fa, fb)
+			}
+			ca := CheckCV(sample, tc)
+			cb := CheckCVSorted(sorted, tc)
+			if ca != cb {
+				t.Fatalf("n=%d tc=%d: CheckCV %+v, sorted %+v", n, tc, ca, cb)
+			}
+		}
+		fa, cva, erra := FitExpTailAuto(sample, 10, n/5)
+		fb, cvb, errb := FitExpTailAutoSorted(sorted, 10, n/5)
+		if (erra == nil) != (errb == nil) {
+			t.Fatalf("n=%d: auto error mismatch %v vs %v", n, erra, errb)
+		}
+		if erra == nil && (*fa != *fb || cva != cvb) {
+			t.Fatalf("n=%d: auto fit %+v/%+v, sorted %+v/%+v", n, fa, cva, fb, cvb)
+		}
+	}
+}
+
+// TestSortedVariantsDegenerate covers the all-equal sample (zero-variance
+// tail) on both paths.
+func TestSortedVariantsDegenerate(t *testing.T) {
+	sample := make([]float64, 100)
+	for i := range sample {
+		sample[i] = 4242
+	}
+	fa, erra := FitExpTail(sample, 20)
+	fb, errb := FitExpTailSorted(stats.SortedCopy(sample), 20)
+	if erra != nil || errb != nil {
+		t.Fatalf("degenerate fit errored: %v / %v", erra, errb)
+	}
+	if *fa != *fb {
+		t.Fatalf("degenerate: %+v vs %+v", fa, fb)
+	}
+}

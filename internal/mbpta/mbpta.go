@@ -177,12 +177,22 @@ var ErrSampleTooSmall = errors.New("mbpta: sample too small for a pWCET estimate
 // selected by the CV criterion, scanning candidate tail sizes from
 // cfg.TailCount up to a fifth of the sample.
 func NewEstimate(sample []float64, cfg Config) (*Estimate, error) {
-	tail, cv, err := evt.FitExpTailAuto(sample, cfg.TailCount, len(sample)/5)
+	return NewEstimateSorted(sample, stats.SortedCopy(sample), cfg)
+}
+
+// NewEstimateSorted is NewEstimate for callers that already hold an
+// ascending-sorted view of sample (the convergence loop maintains one
+// incrementally across rounds). The single sort is shared by every
+// candidate tail fit, every CV test and the empirical ECCDF; sorted is
+// adopted by the estimate and must not be modified afterwards. sample
+// stays in run order (the i.i.d. battery needs it).
+func NewEstimateSorted(sample, sorted []float64, cfg Config) (*Estimate, error) {
+	tail, cv, err := evt.FitExpTailAutoSorted(sorted, cfg.TailCount, len(sorted)/5)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrSampleTooSmall, err)
 	}
 	return &Estimate{
-		Curve:  evt.NewComposite(sample, tail),
+		Curve:  evt.NewCompositeSorted(sorted, tail),
 		Tail:   tail,
 		Sample: sample,
 		IID:    stats.CheckIID(sample),
@@ -206,6 +216,12 @@ type Convergence struct {
 	Rounds    int       // convergence rounds taken
 	Converged bool      // false when MaxRuns was hit first
 	Estimate  *Estimate // estimate at the final sample size
+
+	// Sorted is the ascending-sorted view of Estimate.Sample maintained
+	// across convergence rounds. Callers extending the campaign (package
+	// core) merge new runs into it instead of re-sorting; treat it as
+	// read-only.
+	Sorted []float64
 }
 
 // Converge grows a measurement campaign until the probe pWCET stabilizes:
@@ -231,7 +247,12 @@ func ConvergeCtx(ctx context.Context, tr trace.Trace, model proc.Model, cfg Conf
 	if err != nil {
 		return nil, err
 	}
-	est, err := NewEstimate(sample, cfg)
+	// The sorted view is maintained incrementally: each round sorts only
+	// its increment and merges it in, so the per-round estimation cost is
+	// O(n + inc·log inc) instead of a full O(n log n) re-sort (times the
+	// number of candidate tails, before the sort-once rework in evt).
+	sorted := stats.SortedCopy(sample)
+	est, err := NewEstimateSorted(sample, sorted, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -244,9 +265,10 @@ func ConvergeCtx(ctx context.Context, tr trace.Trace, model proc.Model, cfg Conf
 		if err != nil {
 			return nil, err
 		}
+		sorted = stats.MergeSorted(sorted, stats.SortedCopy(sample[n:]))
 		n = len(sample)
 		rounds++
-		est, err = NewEstimate(sample, cfg)
+		est, err = NewEstimateSorted(sample, sorted, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -254,14 +276,14 @@ func ConvergeCtx(ctx context.Context, tr trace.Trace, model proc.Model, cfg Conf
 		if relDiff(cur, prev) <= cfg.StabilityEps {
 			stable++
 			if stable >= cfg.StableRounds {
-				return &Convergence{Runs: n, Rounds: rounds, Converged: true, Estimate: est}, nil
+				return &Convergence{Runs: n, Rounds: rounds, Converged: true, Estimate: est, Sorted: sorted}, nil
 			}
 		} else {
 			stable = 0
 		}
 		prev = cur
 	}
-	return &Convergence{Runs: n, Rounds: rounds, Converged: false, Estimate: est}, nil
+	return &Convergence{Runs: n, Rounds: rounds, Converged: false, Estimate: est, Sorted: sorted}, nil
 }
 
 // extend appends inc new runs (seed indices len(sample)..) to sample.
@@ -278,6 +300,20 @@ func extendCtx(ctx context.Context, tr trace.Trace, model proc.Model, sample []f
 	out := append(sample, make([]float64, inc)...)
 	err := collectInto(ctx, tr, model, out[start:], root, start, workers, progress, len(out))
 	return out, err
+}
+
+// ExtendToCtx grows a campaign sample to target runs, appending runs
+// len(sample)..target-1 of the campaign rooted at root. Because run i
+// depends only on (root, i), the result is bit-identical to collecting all
+// target runs from scratch — callers holding a converged sample (package
+// core, when TAC demands more runs than MBPTA needed) reuse the prefix
+// instead of simulating it twice. The input slice is not modified.
+func ExtendToCtx(ctx context.Context, tr trace.Trace, model proc.Model, sample []float64,
+	target int, root uint64, workers int, progress Progress) ([]float64, error) {
+	if target <= len(sample) {
+		return sample, ctx.Err()
+	}
+	return extendCtx(ctx, tr, model, sample, target-len(sample), root, workers, progress)
 }
 
 func relDiff(a, b float64) float64 {

@@ -1,0 +1,189 @@
+package proc
+
+import (
+	"testing"
+
+	"pubtac/internal/cache"
+	"pubtac/internal/rng"
+	"pubtac/internal/trace"
+)
+
+// randomTrace builds a pseudo-random trace over a small address range so
+// that set conflicts, reuse and both caches are all exercised.
+func randomTrace(gen *rng.Xoshiro256, n int) trace.Trace {
+	tr := make(trace.Trace, n)
+	for i := range tr {
+		a := trace.Access{Addr: uint64(gen.Intn(40)) * 8}
+		if gen.Intn(3) == 0 {
+			a.Kind = trace.Instr
+		} else {
+			a.Kind = trace.Data
+		}
+		tr[i] = a
+	}
+	return tr
+}
+
+// policyCombos enumerates the four placement/replacement combinations on
+// the default geometry.
+func policyCombos() []Model {
+	var out []Model
+	for _, p := range []cache.PlacementPolicy{cache.RandomPlacement, cache.ModuloPlacement} {
+		for _, r := range []cache.ReplacementPolicy{cache.RandomReplacement, cache.LRUReplacement} {
+			m := DefaultModel()
+			m.IL1.Placement, m.IL1.Replacement = p, r
+			m.DL1.Placement, m.DL1.Replacement = p, r
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// assertRunsMatch runs seeds through a compiled and a reference engine and
+// compares cycles and per-cache miss counts exactly.
+func assertRunsMatch(t *testing.T, label string, m Model, tr trace.Trace,
+	setup func(e *Engine), seeds int) {
+	t.Helper()
+	fast := NewEngine(m)
+	ref := NewEngine(m)
+	ref.UseReference(true)
+	if setup != nil {
+		setup(fast)
+		setup(ref)
+	}
+	for s := 0; s < seeds; s++ {
+		seed := rng.Stream(0xE9, s)
+		cf := fast.Run(tr, seed)
+		cr := ref.Run(tr, seed)
+		if cf != cr {
+			t.Fatalf("%s: seed %d: compiled %d cycles, reference %d", label, s, cf, cr)
+		}
+		fi, fd := fast.Misses()
+		ri, rd := ref.Misses()
+		if fi != ri || fd != rd {
+			t.Fatalf("%s: seed %d: compiled misses %d/%d, reference %d/%d",
+				label, s, fi, fd, ri, rd)
+		}
+	}
+}
+
+// TestCompiledMatchesReference fuzzes the compiled replay against the
+// reference engine over random traces, all policy combinations, and the
+// randomized miss jitter.
+func TestCompiledMatchesReference(t *testing.T) {
+	gen := rng.New(0xC0DE)
+	for i, m := range policyCombos() {
+		for _, jitter := range []uint64{0, 5} {
+			m := m
+			m.Lat.MissJitter = jitter
+			tr := randomTrace(gen, 400)
+			assertRunsMatch(t, "combo", m, tr, nil, 25)
+			_ = i
+		}
+	}
+}
+
+// TestCompiledMatchesReferenceHigherAssoc covers the generic replay loop
+// with a 4-way geometry (the specialized loop only handles 2-way random).
+func TestCompiledMatchesReferenceHigherAssoc(t *testing.T) {
+	gen := rng.New(0xA550C)
+	m := DefaultModel()
+	m.IL1.Ways, m.IL1.Sets = 4, 32
+	m.DL1.Ways, m.DL1.Sets = 4, 32
+	assertRunsMatch(t, "4way-random", m, randomTrace(gen, 400), nil, 25)
+	m.IL1.Replacement = cache.LRUReplacement
+	m.DL1.Replacement = cache.LRUReplacement
+	assertRunsMatch(t, "4way-lru", m, randomTrace(gen, 400), nil, 25)
+}
+
+// TestCompiledMatchesReferencePinned covers TAC-style pinned replays: a pin
+// forces a line group into one set, bypassing the placement policy, and the
+// compiled path must honor it identically.
+func TestCompiledMatchesReferencePinned(t *testing.T) {
+	gen := rng.New(0x9177)
+	tr := randomTrace(gen, 500)
+	m := DefaultModel()
+	pinDL := func(e *Engine) {
+		e.DL1().SetPin(&cache.Pin{Lines: map[uint64]bool{0: true, 1: true, 2: true}, Set: 7})
+	}
+	pinBoth := func(e *Engine) {
+		e.IL1().SetPin(&cache.Pin{Lines: map[uint64]bool{0: true, 1: true}, Set: 0})
+		e.DL1().SetPin(&cache.Pin{Lines: map[uint64]bool{3: true, 4: true, 5: true}, Set: 63})
+	}
+	assertRunsMatch(t, "pin-dl1", m, tr, pinDL, 25)
+	assertRunsMatch(t, "pin-both", m, tr, pinBoth, 25)
+	mj := m
+	mj.Lat.MissJitter = 3
+	assertRunsMatch(t, "pin-jitter", mj, tr, pinDL, 25)
+}
+
+// TestCompiledWriteBack verifies that a compiled Run leaves the caches in
+// the exact state a reference run would: a Replay continuing from that
+// state (no reseed) must produce identical cycles, and a pin installed
+// between runs of the same trace must take effect (placement is
+// re-evaluated per run even when the compilation is reused).
+func TestCompiledWriteBack(t *testing.T) {
+	gen := rng.New(0x3B)
+	tr := randomTrace(gen, 300)
+	cont := randomTrace(gen, 200)
+	for _, m := range policyCombos() {
+		fast := NewEngine(m)
+		ref := NewEngine(m)
+		ref.UseReference(true)
+		for s := 0; s < 10; s++ {
+			seed := rng.Stream(0x77, s)
+			if cf, cr := fast.Run(tr, seed), ref.Run(tr, seed); cf != cr {
+				t.Fatalf("run: %d vs %d", cf, cr)
+			}
+			if cf, cr := fast.Replay(cont), ref.Replay(cont); cf != cr {
+				t.Fatalf("seed %d: replay after compiled run %d cycles, after reference %d",
+					s, cf, cr)
+			}
+		}
+	}
+
+	// Same engine, same trace, pin installed mid-campaign.
+	fast := NewEngine(DefaultModel())
+	ref := NewEngine(DefaultModel())
+	ref.UseReference(true)
+	pin := &cache.Pin{Lines: map[uint64]bool{0: true, 1: true, 2: true}, Set: 5}
+	for s := 0; s < 6; s++ {
+		if s == 3 {
+			fast.DL1().SetPin(pin)
+			ref.DL1().SetPin(pin)
+		}
+		seed := rng.Stream(0x88, s)
+		if cf, cr := fast.Run(tr, seed), ref.Run(tr, seed); cf != cr {
+			t.Fatalf("pin mid-campaign, seed %d: %d vs %d", s, cf, cr)
+		}
+	}
+}
+
+// TestCompileStream sanity-checks the projection itself.
+func TestCompileStream(t *testing.T) {
+	tr := trace.Concat(trace.I(0x40, 0x44, 0x80), trace.D(0, 32, 0))
+	ct := Compile(tr, DefaultModel())
+	if ct.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", ct.Len())
+	}
+	// 0x40 and 0x44 share a 32-byte line; 0 and 32 do not.
+	il, dl := ct.DistinctLines()
+	if il != 2 || dl != 2 {
+		t.Fatalf("distinct lines = %d/%d, want 2/2", il, dl)
+	}
+}
+
+// TestRunNoAllocs checks the no-allocation property of steady-state runs
+// (the jitter, placement and replacement generators are reseeded in place,
+// and the compiled scratch is reused).
+func TestRunNoAllocs(t *testing.T) {
+	tr := goldenTrace()
+	e := NewEngine(DefaultModel())
+	e.Run(tr, 0) // warm up: compile + scratch allocation
+	avg := testing.AllocsPerRun(50, func() {
+		e.Run(tr, 1)
+	})
+	if avg != 0 {
+		t.Fatalf("Run allocates %.1f objects per run, want 0", avg)
+	}
+}

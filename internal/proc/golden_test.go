@@ -1,0 +1,63 @@
+package proc
+
+import (
+	"testing"
+
+	"pubtac/internal/cache"
+	"pubtac/internal/trace"
+)
+
+// goldenTrace mixes a letter working set that overflows one set's
+// associativity, a short instruction burst, and a strided data loop, so all
+// of placement, replacement and both caches are exercised.
+func goldenTrace() trace.Trace {
+	return trace.Concat(
+		trace.Repeat(trace.FromLetters("ABCDEFGHIJ", 32), 40),
+		trace.I(0x40, 0x44, 0x48, 0x40, 0x44, 0x48),
+		trace.Repeat(trace.D(0, 64, 128, 192, 0, 64), 30),
+	)
+}
+
+// TestGoldenCampaignTimes pins the exact execution times of a fixed-seed
+// campaign for every placement/replacement policy combination. The values
+// were produced by the pre-compiled-path reference engine; any drift in
+// seeding, placement hashing, replacement stream consumption or latency
+// arithmetic — in either replay path — fails this test.
+func TestGoldenCampaignTimes(t *testing.T) {
+	tr := goldenTrace()
+	combos := []struct {
+		name string
+		p    cache.PlacementPolicy
+		r    cache.ReplacementPolicy
+		want []uint64
+	}{
+		// random-random also enables MissJitter to pin the jitter stream.
+		{"random-random", cache.RandomPlacement, cache.RandomReplacement,
+			[]uint64{2914, 875, 871, 878, 864, 863, 867, 870}},
+		{"random-lru", cache.RandomPlacement, cache.LRUReplacement,
+			[]uint64{3682, 850, 850, 850, 850, 850, 850, 850}},
+		{"modulo-random", cache.ModuloPlacement, cache.RandomReplacement,
+			[]uint64{850, 850, 850, 850, 850, 850, 850, 850}},
+		{"modulo-lru", cache.ModuloPlacement, cache.LRUReplacement,
+			[]uint64{850, 850, 850, 850, 850, 850, 850, 850}},
+	}
+	for _, c := range combos {
+		for _, ref := range []bool{false, true} {
+			m := DefaultModel()
+			m.IL1.Placement, m.IL1.Replacement = c.p, c.r
+			m.DL1.Placement, m.DL1.Replacement = c.p, c.r
+			if c.name == "random-random" {
+				m.Lat.MissJitter = 4
+			}
+			e := NewEngine(m)
+			e.UseReference(ref)
+			times := e.Campaign(tr, len(c.want), 0xC0FFEE)
+			for i, want := range c.want {
+				if uint64(times[i]) != want {
+					t.Errorf("%s (reference=%v) run %d: got %d, want %d",
+						c.name, ref, i, uint64(times[i]), want)
+				}
+			}
+		}
+	}
+}

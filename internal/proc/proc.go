@@ -69,6 +69,17 @@ type Engine struct {
 	il1    *cache.Cache
 	dl1    *cache.Cache
 	jitter *rng.Xoshiro256
+
+	// Compiled-trace fast path (see compile.go): the last compiled trace,
+	// the trace it was compiled from (identity key), per-cache replay
+	// scratch, the compiled run whose end state has not yet been written
+	// back into the Cache objects, and the opt-out used by equivalence
+	// tests.
+	ct        *CompiledTrace
+	ctTrace   trace.Trace
+	ils, dls  sideState
+	pending   *CompiledTrace
+	reference bool
 }
 
 // NewEngine builds an execution engine for the model.
@@ -84,25 +95,53 @@ func NewEngine(m Model) *Engine {
 // Model returns the engine's platform model.
 func (e *Engine) Model() Model { return e.model }
 
-// IL1 exposes the instruction cache (for pinning in TAC experiments).
-func (e *Engine) IL1() *cache.Cache { return e.il1 }
+// IL1 exposes the instruction cache (for pinning in TAC experiments). The
+// returned handle reflects the last run's state as of this call; after
+// another Run, call IL1 again rather than reading a retained pointer (the
+// compiled fast path writes run state back lazily, at accessor calls).
+func (e *Engine) IL1() *cache.Cache { e.materialize(); return e.il1 }
 
-// DL1 exposes the data cache (for pinning in TAC experiments).
-func (e *Engine) DL1() *cache.Cache { return e.dl1 }
+// DL1 exposes the data cache (for pinning in TAC experiments). The same
+// retained-pointer caveat as IL1 applies.
+func (e *Engine) DL1() *cache.Cache { e.materialize(); return e.dl1 }
+
+// UseReference forces Run and Campaign through the uncompiled reference
+// replay when on is true. The compiled fast path is bit-identical (that is
+// what the equivalence tests assert, using this switch for the reference
+// arm); production code has no reason to disable it.
+func (e *Engine) UseReference(on bool) { e.reference = on }
+
+// reseed starts a new run: caches are flushed and the placement,
+// replacement and jitter streams are redrawn from the seed. All generators
+// are reseeded in place — a run performs no heap allocations. Any
+// not-yet-materialized compiled state is dropped, exactly as the flush
+// would erase it.
+func (e *Engine) reseed(seed uint64) {
+	e.pending = nil
+	e.il1.Reseed(rng.Mix64(seed ^ 0x11))
+	e.dl1.Reseed(rng.Mix64(seed ^ 0xDD))
+	e.jitter.Reseed(rng.Mix64(seed ^ 0x717))
+}
 
 // Run executes tr as one program run with the given seed: caches are
 // flushed, the random placement and replacement streams are redrawn from the
 // seed, and the trace is replayed. It returns the execution time in cycles.
+//
+// Run replays through the compiled fast path (see compile.go), compiling tr
+// on first use and reusing the compilation across runs of the same trace;
+// results are bit-identical to the reference replay.
 func (e *Engine) Run(tr trace.Trace, seed uint64) uint64 {
-	e.il1.Reseed(rng.Mix64(seed ^ 0x11))
-	e.dl1.Reseed(rng.Mix64(seed ^ 0xDD))
-	e.jitter = rng.New(rng.Mix64(seed ^ 0x717))
-	return e.Replay(tr)
+	e.reseed(seed)
+	if e.reference {
+		return e.Replay(tr)
+	}
+	return e.replayCompiled(e.compiledFor(tr))
 }
 
 // Replay replays tr against the current cache state without reseeding or
 // flushing, accumulating cycles. Use Run for whole-program measurements.
 func (e *Engine) Replay(tr trace.Trace) uint64 {
+	e.materialize()
 	lat := e.model.Lat
 	var cycles uint64
 	for _, a := range tr {
@@ -126,7 +165,10 @@ func (e *Engine) Replay(tr trace.Trace) uint64 {
 }
 
 // Misses returns the IL1 and DL1 miss counts of the last Run.
-func (e *Engine) Misses() (il1, dl1 uint64) { return e.il1.Misses(), e.dl1.Misses() }
+func (e *Engine) Misses() (il1, dl1 uint64) {
+	e.materialize()
+	return e.il1.Misses(), e.dl1.Misses()
+}
 
 // Campaign runs tr n times with seeds derived from root via rng.Stream and
 // returns the execution times in run order. It is the basic measurement

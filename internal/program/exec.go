@@ -2,6 +2,7 @@ package program
 
 import (
 	"fmt"
+	"slices"
 	"strings"
 
 	"pubtac/internal/trace"
@@ -42,8 +43,14 @@ func (p *Program) Exec(in Input) (Result, error) {
 		return Result{}, fmt.Errorf("program %s: Exec before Link", p.Name)
 	}
 	ctx := &execContext{p: p, st: in.state()}
+	if hint := p.traceHint.Load(); hint > 0 {
+		ctx.tr = make(trace.Trace, 0, hint)
+	}
 	if err := ctx.exec(p.Root); err != nil {
 		return Result{}, err
+	}
+	if n := int64(len(ctx.tr)); n > p.traceHint.Load() {
+		p.traceHint.Store(n)
 	}
 	return Result{Trace: ctx.tr, Path: strings.Join(ctx.path, "."), State: ctx.st}, nil
 }
@@ -89,11 +96,14 @@ func (c *execContext) exec(n Node) error {
 }
 
 func (c *execContext) execBlock(b *Block) error {
+	c.tr = slices.Grow(c.tr, b.NInstr+len(b.Accs))
+	addr := b.Addr
 	for i := 0; i < b.NInstr; i++ {
-		c.tr = append(c.tr, trace.Access{Addr: b.Addr + uint64(i*instrBytes), Kind: trace.Instr})
+		c.tr = append(c.tr, trace.Access{Addr: addr, Kind: trace.Instr})
+		addr += instrBytes
 	}
-	for _, a := range b.Accs {
-		sym := c.p.Symbol(a.Sym)
+	for i, a := range b.Accs {
+		sym := b.syms[i] // resolved by Link
 		if sym == nil {
 			return fmt.Errorf("program %s: block %q references unknown symbol %q",
 				c.p.Name, b.Label, a.Sym)
@@ -223,6 +233,7 @@ func Clone(n Node) Node {
 		b := *t
 		b.Accs = append([]*Acc(nil), t.Accs...)
 		b.Addr = 0
+		b.syms = nil // re-resolved when the clone's program links
 		return &b
 	case *Seq:
 		s := &Seq{Nodes: make([]Node, len(t.Nodes))}

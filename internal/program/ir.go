@@ -22,41 +22,97 @@ package program
 
 import (
 	"fmt"
+	"sync/atomic"
 )
 
 // State is the mutable program state threaded through execution: integer
 // scalars and integer arrays, keyed by name. Benchmarks read and write it
 // from Block actions and condition expressions.
+//
+// Programs use a handful of variables but read them millions of times
+// across a measurement campaign (every index expression and condition goes
+// through here), so bindings are stored as small linear-scan tables: for
+// the short names benchmarks use, a scan beats hashing the key on every
+// lookup.
 type State struct {
-	Ints   map[string]int64
-	Arrays map[string][]int64
+	ints   []intBinding
+	arrays []arrBinding
+}
+
+type intBinding struct {
+	name string
+	val  int64
+}
+
+type arrBinding struct {
+	name string
+	val  []int64
 }
 
 // NewState builds an empty state.
-func NewState() *State {
-	return &State{Ints: map[string]int64{}, Arrays: map[string][]int64{}}
-}
+func NewState() *State { return &State{} }
 
 // Clone returns a deep copy of the state.
 func (s *State) Clone() *State {
-	c := NewState()
-	for k, v := range s.Ints {
-		c.Ints[k] = v
+	c := &State{
+		ints:   append([]intBinding(nil), s.ints...),
+		arrays: make([]arrBinding, len(s.arrays)),
 	}
-	for k, v := range s.Arrays {
-		c.Arrays[k] = append([]int64(nil), v...)
+	for i, b := range s.arrays {
+		c.arrays[i] = arrBinding{name: b.name, val: append([]int64(nil), b.val...)}
 	}
 	return c
 }
 
+// nameEq compares binding names with a length + first-byte guard before
+// the full string compare: benchmark variable names are one or two
+// characters, so nearly every mismatch is decided without a memory-compare
+// call.
+func nameEq(a, b string) bool {
+	return len(a) == len(b) && (len(a) == 0 || a[0] == b[0]) && a == b
+}
+
 // Int returns the scalar named n (0 when unset).
-func (s *State) Int(n string) int64 { return s.Ints[n] }
+func (s *State) Int(n string) int64 {
+	for i := range s.ints {
+		if nameEq(s.ints[i].name, n) {
+			return s.ints[i].val
+		}
+	}
+	return 0
+}
 
 // SetInt sets the scalar named n.
-func (s *State) SetInt(n string, v int64) { s.Ints[n] = v }
+func (s *State) SetInt(n string, v int64) {
+	for i := range s.ints {
+		if nameEq(s.ints[i].name, n) {
+			s.ints[i].val = v
+			return
+		}
+	}
+	s.ints = append(s.ints, intBinding{name: n, val: v})
+}
 
 // Arr returns the array named n (nil when unset).
-func (s *State) Arr(n string) []int64 { return s.Arrays[n] }
+func (s *State) Arr(n string) []int64 {
+	for i := range s.arrays {
+		if nameEq(s.arrays[i].name, n) {
+			return s.arrays[i].val
+		}
+	}
+	return nil
+}
+
+// SetArr binds the array named n (the slice is not copied).
+func (s *State) SetArr(n string, v []int64) {
+	for i := range s.arrays {
+		if nameEq(s.arrays[i].name, n) {
+			s.arrays[i].val = v
+			return
+		}
+	}
+	s.arrays = append(s.arrays, arrBinding{name: n, val: v})
+}
 
 // Input is the initial state of one program run: the paper's "input vector".
 type Input struct {
@@ -69,10 +125,10 @@ type Input struct {
 func (in Input) state() *State {
 	s := NewState()
 	for k, v := range in.Ints {
-		s.Ints[k] = v
+		s.SetInt(k, v)
 	}
 	for k, v := range in.Arrays {
-		s.Arrays[k] = append([]int64(nil), v...)
+		s.SetArr(k, append([]int64(nil), v...))
 	}
 	return s
 }
@@ -122,6 +178,11 @@ type Block struct {
 
 	// Addr is the code start address, assigned by Program.Link.
 	Addr uint64
+
+	// syms holds the symbol of each access template, resolved by Link so
+	// the executor skips the per-access map lookup. nil entries (unknown
+	// symbols) are reported at execution time.
+	syms []*Symbol
 }
 
 // Seq is sequential composition.
@@ -205,6 +266,12 @@ type Program struct {
 	symIndex map[string]*Symbol
 	blocks   []*Block
 	linked   bool
+
+	// traceHint remembers the longest trace a previous Exec produced, so
+	// later executions allocate the trace in one shot. Atomic because the
+	// batch engine executes paths of one program concurrently; the value is
+	// only a capacity hint, so races are harmless.
+	traceHint atomic.Int64
 }
 
 // New creates an unlinked program with the default address space layout

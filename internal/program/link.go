@@ -41,6 +41,19 @@ func (p *Program) Link() error {
 		size := uint64(s.ElemBytes * s.Len)
 		dataAddr += (size + dataAlign - 1) / dataAlign * dataAlign
 	}
+
+	// Resolve each block's access symbols once, so the executor's inner
+	// loop does no map lookups. Unknown symbols stay nil and are reported
+	// by Exec when (and if) the access is reached.
+	for _, b := range p.blocks {
+		if cap(b.syms) < len(b.Accs) {
+			b.syms = make([]*Symbol, len(b.Accs))
+		}
+		b.syms = b.syms[:len(b.Accs)]
+		for i, a := range b.Accs {
+			b.syms[i] = p.symIndex[a.Sym]
+		}
+	}
 	p.linked = true
 	return nil
 }

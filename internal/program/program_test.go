@@ -292,11 +292,11 @@ func TestCloneIsDeepForBlocks(t *testing.T) {
 func TestStateClone(t *testing.T) {
 	s := NewState()
 	s.SetInt("x", 1)
-	s.Arrays["a"] = []int64{1, 2}
+	s.SetArr("a", []int64{1, 2})
 	c := s.Clone()
 	c.SetInt("x", 9)
-	c.Arrays["a"][0] = 99
-	if s.Int("x") != 1 || s.Arrays["a"][0] != 1 {
+	c.Arr("a")[0] = 99
+	if s.Int("x") != 1 || s.Arr("a")[0] != 1 {
 		t.Fatal("Clone is shallow")
 	}
 }

@@ -126,15 +126,33 @@ func quantileSorted(s []float64, q float64) float64 {
 // Median returns the 0.5 quantile of xs.
 func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
 
-// TopK returns the k largest values of xs in descending order. If k exceeds
-// len(xs), all values are returned. The input is not modified.
-func TopK(xs []float64, k int) []float64 {
+// SortedCopy returns an ascending-sorted copy of xs. It is the entry point
+// of the sort-once estimation path: callers sort a sample a single time and
+// hand the result to the *Sorted variants across stats, evt and mbpta.
+func SortedCopy(xs []float64) []float64 {
 	s := append([]float64(nil), xs...)
-	sort.Sort(sort.Reverse(sort.Float64Slice(s)))
-	if k > len(s) {
-		k = len(s)
+	sort.Float64s(s)
+	return s
+}
+
+// MergeSorted merges two ascending-sorted slices into a new ascending
+// slice. Growing campaigns use it to maintain a sorted view across
+// convergence rounds in O(n + inc) instead of re-sorting the whole sample.
+func MergeSorted(a, b []float64) []float64 {
+	out := make([]float64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
 	}
-	return s[:k]
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
 }
 
 // Autocorrelation returns the lag-k sample autocorrelation coefficient of

@@ -92,21 +92,24 @@ func TestQuantileMonotone(t *testing.T) {
 	}
 }
 
-func TestTopK(t *testing.T) {
-	xs := []float64{5, 1, 9, 3, 7}
-	got := TopK(xs, 3)
-	want := []float64{9, 7, 5}
+func TestMergeSorted(t *testing.T) {
+	a := []float64{1, 3, 3, 8}
+	b := []float64{2, 3, 9}
+	got := MergeSorted(a, b)
+	want := []float64{1, 2, 3, 3, 3, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("MergeSorted = %v, want %v", got, want)
+	}
 	for i := range want {
 		if got[i] != want[i] {
-			t.Fatalf("TopK = %v, want %v", got, want)
+			t.Fatalf("MergeSorted = %v, want %v", got, want)
 		}
 	}
-	if len(TopK(xs, 100)) != 5 {
-		t.Fatal("TopK should clamp k to len(xs)")
+	if out := MergeSorted(nil, b); len(out) != 3 {
+		t.Fatalf("MergeSorted(nil, b) = %v", out)
 	}
-	// input unmodified
-	if xs[0] != 5 || xs[4] != 7 {
-		t.Fatal("TopK modified its input")
+	if out := MergeSorted(a, nil); len(out) != 4 {
+		t.Fatalf("MergeSorted(a, nil) = %v", out)
 	}
 }
 

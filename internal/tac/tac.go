@@ -195,13 +195,14 @@ func analyzeCache(seq []uint64, kind trace.Kind, cfgC cache.Config, cfg Config,
 		maxK = len(hot)
 	}
 	base := baselineLineMisses(seq, cfgC, cfg)
+	var sub []uint64 // scratch for each group's filtered subsequence
 	for k := w + 1; k <= maxK; k++ {
 		combinations(len(hot), k, func(idx []int) {
 			lines := make([]uint64, k)
 			for i, hi := range idx {
 				lines[i] = hot[hi]
 			}
-			extraMisses := pinnedImpact(seq, lines, cfgC, cfg) - baselineMissesOf(base, lines)
+			extraMisses := pinnedImpact(seq, lines, cfgC, cfg, &sub) - baselineMissesOf(base, lines)
 			impact := extraMisses * missCost
 			if impact < cfg.MinImpactRel*baselineMean {
 				return
@@ -267,10 +268,15 @@ func combinations(n, k int, f func(idx []int)) {
 
 // baselineLineMisses estimates, per line, the mean number of misses in an
 // unconstrained random-layout run, averaged over BaselineSeeds layouts.
+// One cache instance is reseeded per layout (Reseed reproduces the state
+// New would build, without the allocations).
 func baselineLineMisses(seq []uint64, cfgC cache.Config, cfg Config) map[uint64]float64 {
 	sums := make(map[uint64]float64)
+	c := cache.New(cfgC, rng.Stream(cfg.Seed^0xBA5E, 0))
 	for s := 0; s < cfg.BaselineSeeds; s++ {
-		c := cache.New(cfgC, rng.Stream(cfg.Seed^0xBA5E, s))
+		if s > 0 {
+			c.Reseed(rng.Stream(cfg.Seed^0xBA5E, s))
+		}
 		for _, l := range seq {
 			if !c.AccessLine(l) {
 				sums[l]++
@@ -295,20 +301,32 @@ func baselineMissesOf(base map[uint64]float64, lines []uint64) float64 {
 // against a single pinned set of Ways ways with random replacement — the
 // exact behaviour of the event "all group lines mapped into one set" —
 // and returns the mean miss count over PinSeeds replacement streams.
-func pinnedImpact(seq []uint64, lines []uint64, cfgC cache.Config, cfg Config) float64 {
-	member := make(map[uint64]bool, len(lines))
-	for _, l := range lines {
-		member[l] = true
+//
+// The group's subsequence is extracted once into *scratch and replayed per
+// replacement stream: the full sequence is scanned once per group instead
+// of once per group per seed, with replacement draws (and so results)
+// unchanged. Group sizes are a handful of lines, so membership is a linear
+// scan rather than a map.
+func pinnedImpact(seq []uint64, lines []uint64, cfgC cache.Config, cfg Config, scratch *[]uint64) float64 {
+	sub := (*scratch)[:0]
+	for _, l := range seq {
+		for _, g := range lines {
+			if g == l {
+				sub = append(sub, l)
+				break
+			}
+		}
 	}
+	*scratch = sub
+
+	var gen rng.Xoshiro256
+	set := make([]uint64, 0, cfgC.Ways)
 	var total float64
 	for s := 0; s < cfg.PinSeeds; s++ {
-		gen := rng.New(rng.Stream(cfg.Seed^0x51AC, s))
-		set := make([]uint64, 0, cfgC.Ways)
+		gen.Reseed(rng.Stream(cfg.Seed^0x51AC, s))
+		set = set[:0]
 		misses := 0
-		for _, l := range seq {
-			if !member[l] {
-				continue
-			}
+		for _, l := range sub {
 			hit := false
 			for _, r := range set {
 				if r == l {
