@@ -18,6 +18,7 @@ import (
 	"pubtac/internal/mbpta"
 	"pubtac/internal/proc"
 	"pubtac/internal/pub"
+	"pubtac/internal/rng"
 	"pubtac/internal/stats"
 	"pubtac/internal/tac"
 	"pubtac/internal/trace"
@@ -271,6 +272,47 @@ func BenchmarkAblationCompiledReplay(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkAblationBatchReplay contrasts the three campaign replay paths on
+// a 1000-run campaign of the pubbed bs path: the batched loop (BatchK seeds
+// per pass over the shared compiled stream, conflict-free seeds answered
+// analytically), a loop of per-seed compiled Runs, and the uncompiled
+// reference engine. All three produce bit-identical times (see
+// internal/proc's batch equivalence tests).
+func BenchmarkAblationBatchReplay(b *testing.B) {
+	bm := malardalen.BS()
+	pubbed, _, err := pub.Transform(bm.Program)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := pubbed.MustExec(bm.Default()).Trace
+	model := proc.DefaultModel()
+	dst := make([]float64, 1000)
+	b.Run("batched", func(b *testing.B) {
+		e := proc.NewEngine(model)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.CampaignBatchInto(tr, dst, uint64(i), 0)
+		}
+	})
+	b.Run("per-seed", func(b *testing.B) {
+		e := proc.NewEngine(model)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range dst {
+				dst[j] = float64(e.Run(tr, rng.Stream(uint64(i), j)))
+			}
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		e := proc.NewEngine(model)
+		e.UseReference(true)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.CampaignInto(tr, dst, uint64(i), 0)
+		}
+	})
 }
 
 // BenchmarkAblationMissJitter measures the cost of the optional randomized

@@ -137,16 +137,26 @@ func New(cfg Config, seed uint64) *Cache {
 // Config returns the cache configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
+// PlacementKey derives the placement-hash key that Reseed(seed) installs.
+// The batched campaign replay of package proc evaluates placements for many
+// run seeds without touching Cache objects; sharing the derivation here
+// keeps the two paths impossible to diverge.
+func PlacementKey(seed uint64) uint64 { return rng.Mix64(seed ^ 0xCAC4E) }
+
+// ReplacementSeed derives the replacement-stream seed that Reseed(seed)
+// uses, for the same reason as PlacementKey.
+func ReplacementSeed(seed uint64) uint64 { return rng.Mix64(seed ^ 0x5EED1ACE) }
+
 // Reseed starts a new run: it redraws the placement hash key and the
 // replacement random stream from seed, and flushes the contents (the
 // evaluation flushes cache content before each run). The replacement
 // generator is reseeded in place, so Reseed does not allocate.
 func (c *Cache) Reseed(seed uint64) {
-	c.seed = rng.Mix64(seed ^ 0xCAC4E)
+	c.seed = PlacementKey(seed)
 	if c.rand == nil {
-		c.rand = rng.New(rng.Mix64(seed ^ 0x5EED1ACE))
+		c.rand = rng.New(ReplacementSeed(seed))
 	} else {
-		c.rand.Reseed(rng.Mix64(seed ^ 0x5EED1ACE))
+		c.rand.Reseed(ReplacementSeed(seed))
 	}
 	c.Flush()
 }
@@ -161,6 +171,11 @@ func (c *Cache) Flush() {
 
 // SetPin installs (or clears, with nil) a forced placement.
 func (c *Cache) SetPin(p *Pin) { c.pin = p }
+
+// Pin returns the installed forced placement, nil when none. The batched
+// replay reads it once per seed block to reproduce SetOf's pin short-circuit
+// without a per-access lookup.
+func (c *Cache) Pin() *Pin { return c.pin }
 
 // Rand returns the replacement random stream of the current run. The
 // compiled replay draws victims from this generator so that its decisions

@@ -173,7 +173,13 @@ func (a *Analyzer) analyzeOn(ctx context.Context, pubbed *program.Program, name 
 		return nil, fmt.Errorf("core: executing pubbed %s(%s): %w", name, in.Name, err)
 	}
 
-	ta, err := tac.Analyze(res.Trace, a.cfg.Model, a.cfg.TAC)
+	// The path's trace is compiled exactly once here; TAC's baseline, every
+	// convergence round and the TAC-demanded campaign extension below all
+	// replay the one shared CompiledTrace (workers keep only per-seed
+	// scratch).
+	camp := mbpta.NewCampaign(res.Trace, a.cfg.Model)
+
+	ta, err := tac.AnalyzeCompiled(res.Trace, camp.Compiled, a.cfg.Model, a.cfg.TAC)
 	if err != nil {
 		return nil, fmt.Errorf("core: TAC on %s(%s): %w", name, in.Name, err)
 	}
@@ -181,7 +187,7 @@ func (a *Analyzer) analyzeOn(ctx context.Context, pubbed *program.Program, name 
 	root := mbpta.Seed(name+"/"+in.Name) ^ a.cfg.SeedSalt
 	mcfg := a.cfg.MBPTA
 	mcfg.Workers = workers
-	conv, err := mbpta.ConvergeCtx(ctx, res.Trace, a.cfg.Model, mcfg, root,
+	conv, err := camp.ConvergeCtx(ctx, mcfg, root,
 		a.progressFn(name, in.Name, "converge"))
 	if err != nil {
 		return nil, fmt.Errorf("core: MBPTA convergence on %s(%s): %w", name, in.Name, err)
@@ -220,7 +226,7 @@ func (a *Analyzer) analyzeOn(ctx context.Context, pubbed *program.Program, name 
 	// the convergence runs are no longer paid for twice). The converged
 	// sorted view is reused the same way: sort the extension, merge.
 	prefix := conv.Estimate.Sample
-	sample, err := mbpta.ExtendToCtx(ctx, res.Trace, a.cfg.Model, prefix, pa.RunsUsed, root,
+	sample, err := camp.ExtendToCtx(ctx, prefix, pa.RunsUsed, root,
 		workers, a.progressFn(name, in.Name, "campaign"))
 	if err != nil {
 		return nil, fmt.Errorf("core: campaign on %s(%s): %w", name, in.Name, err)
@@ -275,7 +281,7 @@ func (a *Analyzer) AnalyzeOriginalCtx(ctx context.Context, p *program.Program,
 	if workers > 0 {
 		mcfg.Workers = workers
 	}
-	conv, err := mbpta.ConvergeCtx(ctx, res.Trace, a.cfg.Model, mcfg, root,
+	conv, err := mbpta.NewCampaign(res.Trace, a.cfg.Model).ConvergeCtx(ctx, mcfg, root,
 		a.progressFn(p.Name, in.Name, "converge"))
 	if err != nil {
 		return nil, err

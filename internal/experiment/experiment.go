@@ -177,8 +177,8 @@ func Figure1(ctx context.Context, opts Options) ([]Series, error) {
 	b := malardalen.CNT()
 	res := b.Program.MustExec(b.Default())
 	n := opts.scaled(200000, 4000)
-	sample, err := mbpta.CollectCtx(ctx, res.Trace, proc.DefaultModel(), n,
-		mbpta.Seed("fig1"), opts.Workers, nil)
+	camp := mbpta.NewCampaign(res.Trace, proc.DefaultModel())
+	sample, err := camp.CollectCtx(ctx, n, mbpta.Seed("fig1"), opts.Workers, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -222,9 +222,11 @@ func Figure2(ctx context.Context, opts Options) ([]Series, error) {
 	g.SetLimit(outer)
 	for i, in := range inputs {
 		i, in := i, in
+		// Each path's trace is compiled once; the campaign workers inside
+		// CollectCtx share the compilation.
 		g.Go(func() error {
 			orig := b.Program.MustExec(in)
-			sample, err := mbpta.CollectCtx(ctx, orig.Trace, model, runs,
+			sample, err := mbpta.NewCampaign(orig.Trace, model).CollectCtx(ctx, runs,
 				mbpta.Seed("fig2/orig/"+in.Name), inner, nil)
 			if err != nil {
 				return err
@@ -234,7 +236,7 @@ func Figure2(ctx context.Context, opts Options) ([]Series, error) {
 		})
 		g.Go(func() error {
 			pr := pubbed.MustExec(in)
-			sample, err := mbpta.CollectCtx(ctx, pr.Trace, model, runs,
+			sample, err := mbpta.NewCampaign(pr.Trace, model).CollectCtx(ctx, runs,
 				mbpta.Seed("fig2/pub/"+in.Name), inner, nil)
 			if err != nil {
 				return err
@@ -280,7 +282,7 @@ func Figure4(ctx context.Context, opts Options) (*Figure4Result, error) {
 	}
 	res := pubbed.MustExec(in)
 	refRuns := opts.scaled(6000000, 20000)
-	ref, err := mbpta.CollectCtx(ctx, res.Trace, proc.DefaultModel(), refRuns,
+	ref, err := mbpta.NewCampaign(res.Trace, proc.DefaultModel()).CollectCtx(ctx, refRuns,
 		mbpta.Seed("fig4/ref"), opts.Workers, nil)
 	if err != nil {
 		return nil, err

@@ -76,7 +76,35 @@ type Progress func(done, target int)
 // worker simulates this many runs between cancellation checks and progress
 // reports. Small enough to cancel a campaign within milliseconds, large
 // enough that the atomic dispatch cost is invisible next to a trace replay.
-const collectBlock = 64
+// It is a multiple of proc.BatchK so whole blocks stay on the batched
+// replay path (the engine replays BatchK seeds per pass over the stream).
+const collectBlock = 8 * proc.BatchK
+
+// Campaign is one measurement campaign's shared, immutable inputs: the
+// trace, the platform model, and the trace compiled once for that model.
+// Every worker goroutine of every collection and convergence round replays
+// the same CompiledTrace — compilation is paid once per analyzed path, and
+// each engine keeps only its private per-seed scratch. A Campaign is safe
+// for concurrent use.
+type Campaign struct {
+	Trace    trace.Trace
+	Model    proc.Model
+	Compiled *proc.CompiledTrace
+}
+
+// NewCampaign compiles tr for the model once, for any number of subsequent
+// Collect/Converge/ExtendTo calls.
+func NewCampaign(tr trace.Trace, model proc.Model) *Campaign {
+	return &Campaign{Trace: tr, Model: model, Compiled: proc.Compile(tr, model)}
+}
+
+// newEngine builds one worker's engine: private replay scratch around the
+// shared compilation.
+func (c *Campaign) newEngine() *proc.Engine {
+	eng := proc.NewEngine(c.Model)
+	eng.SetCompiled(c.Compiled, c.Trace)
+	return eng
+}
 
 // Collect runs tr n times on the model with seeds derived from root and
 // returns execution times in run order. Runs are distributed over Workers
@@ -87,16 +115,24 @@ func Collect(tr trace.Trace, model proc.Model, n int, root uint64, workers int) 
 	return times
 }
 
-// CollectCtx is Collect with cancellation and progress reporting: it stops
-// promptly (returning ctx.Err and a partially filled sample) when ctx is
-// cancelled, and reports completed runs through progress as blocks finish.
+// CollectCtx is Collect with cancellation and progress reporting; it
+// compiles the trace once and delegates to Campaign.CollectCtx.
 func CollectCtx(ctx context.Context, tr trace.Trace, model proc.Model, n int,
 	root uint64, workers int, progress Progress) ([]float64, error) {
+	return NewCampaign(tr, model).CollectCtx(ctx, n, root, workers, progress)
+}
+
+// CollectCtx runs the campaign n times with seeds derived from root and
+// returns execution times in run order. It stops promptly (returning
+// ctx.Err and a partially filled sample) when ctx is cancelled, and reports
+// completed runs through progress as blocks finish.
+func (c *Campaign) CollectCtx(ctx context.Context, n int, root uint64,
+	workers int, progress Progress) ([]float64, error) {
 	if n <= 0 {
 		return nil, ctx.Err()
 	}
 	times := make([]float64, n)
-	err := collectInto(ctx, tr, model, times, root, 0, workers, progress, n)
+	err := c.collectInto(ctx, times, root, 0, workers, progress, n)
 	return times, err
 }
 
@@ -105,8 +141,8 @@ func CollectCtx(ctx context.Context, tr trace.Trace, model proc.Model, n int,
 // pull fixed-size blocks from a shared counter, so load balances even when
 // per-run cost varies; between blocks they check ctx and report progress
 // (done counts completed runs across the whole campaign, offset included).
-func collectInto(ctx context.Context, tr trace.Trace, model proc.Model,
-	dst []float64, root uint64, offset, workers int, progress Progress, target int) error {
+func (c *Campaign) collectInto(ctx context.Context, dst []float64, root uint64,
+	offset, workers int, progress Progress, target int) error {
 	n := len(dst)
 	if n == 0 {
 		return ctx.Err()
@@ -132,14 +168,14 @@ func collectInto(ctx context.Context, tr trace.Trace, model proc.Model,
 			if hi > n {
 				hi = n
 			}
-			eng.CampaignInto(tr, dst[lo:hi], root, offset+lo)
+			eng.CampaignInto(c.Trace, dst[lo:hi], root, offset+lo)
 			if progress != nil {
 				progress(int(done.Add(int64(hi-lo))), target)
 			}
 		}
 	}
 	if workers == 1 {
-		return body(proc.NewEngine(model))
+		return body(c.newEngine())
 	}
 	var wg sync.WaitGroup
 	errs := make([]error, workers)
@@ -147,7 +183,7 @@ func collectInto(ctx context.Context, tr trace.Trace, model proc.Model,
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			errs[w] = body(proc.NewEngine(model))
+			errs[w] = body(c.newEngine())
 		}(w)
 	}
 	wg.Wait()
@@ -234,16 +270,24 @@ func Converge(tr trace.Trace, model proc.Model, cfg Config, root uint64) (*Conve
 	return ConvergeCtx(context.Background(), tr, model, cfg, root, nil)
 }
 
-// ConvergeCtx is Converge with cancellation and progress reporting. The
-// progress target grows by Increment per round until the estimate
-// stabilizes, so target is a moving lower bound on the final run count.
+// ConvergeCtx is Converge with cancellation and progress reporting; it
+// compiles the trace once and delegates to Campaign.ConvergeCtx.
 func ConvergeCtx(ctx context.Context, tr trace.Trace, model proc.Model, cfg Config,
+	root uint64, progress Progress) (*Convergence, error) {
+	return NewCampaign(tr, model).ConvergeCtx(ctx, cfg, root, progress)
+}
+
+// ConvergeCtx runs the convergence search on the campaign. The progress
+// target grows by Increment per round until the estimate stabilizes, so
+// target is a moving lower bound on the final run count. Every round's
+// workers replay the one shared compilation.
+func (c *Campaign) ConvergeCtx(ctx context.Context, cfg Config,
 	root uint64, progress Progress) (*Convergence, error) {
 	if cfg.InitialRuns < 20 {
 		return nil, fmt.Errorf("mbpta: InitialRuns %d too small", cfg.InitialRuns)
 	}
 	n := cfg.InitialRuns
-	sample, err := CollectCtx(ctx, tr, model, n, root, cfg.Workers, progress)
+	sample, err := c.CollectCtx(ctx, n, root, cfg.Workers, progress)
 	if err != nil {
 		return nil, err
 	}
@@ -261,7 +305,7 @@ func ConvergeCtx(ctx context.Context, tr trace.Trace, model proc.Model, cfg Conf
 	rounds := 0
 	for n < cfg.MaxRuns {
 		// Extend deterministically: the new runs use seeds n..n+inc-1.
-		sample, err = extendCtx(ctx, tr, model, sample, cfg.Increment, root, cfg.Workers, progress)
+		sample, err = c.extendCtx(ctx, sample, cfg.Increment, root, cfg.Workers, progress)
 		if err != nil {
 			return nil, err
 		}
@@ -286,19 +330,13 @@ func ConvergeCtx(ctx context.Context, tr trace.Trace, model proc.Model, cfg Conf
 	return &Convergence{Runs: n, Rounds: rounds, Converged: false, Estimate: est, Sorted: sorted}, nil
 }
 
-// extend appends inc new runs (seed indices len(sample)..) to sample.
-func extend(tr trace.Trace, model proc.Model, sample []float64, inc int, root uint64, workers int) []float64 {
-	out, _ := extendCtx(context.Background(), tr, model, sample, inc, root, workers, nil)
-	return out
-}
-
 // extendCtx appends inc new runs to sample, cancellably. The new runs'
 // progress target is the extended sample size.
-func extendCtx(ctx context.Context, tr trace.Trace, model proc.Model, sample []float64,
+func (c *Campaign) extendCtx(ctx context.Context, sample []float64,
 	inc int, root uint64, workers int, progress Progress) ([]float64, error) {
 	start := len(sample)
 	out := append(sample, make([]float64, inc)...)
-	err := collectInto(ctx, tr, model, out[start:], root, start, workers, progress, len(out))
+	err := c.collectInto(ctx, out[start:], root, start, workers, progress, len(out))
 	return out, err
 }
 
@@ -310,10 +348,17 @@ func extendCtx(ctx context.Context, tr trace.Trace, model proc.Model, sample []f
 // instead of simulating it twice. The input slice is not modified.
 func ExtendToCtx(ctx context.Context, tr trace.Trace, model proc.Model, sample []float64,
 	target int, root uint64, workers int, progress Progress) ([]float64, error) {
+	return NewCampaign(tr, model).ExtendToCtx(ctx, sample, target, root, workers, progress)
+}
+
+// ExtendToCtx is the Campaign form of the package-level ExtendToCtx,
+// reusing the campaign's shared compilation for the appended runs.
+func (c *Campaign) ExtendToCtx(ctx context.Context, sample []float64,
+	target int, root uint64, workers int, progress Progress) ([]float64, error) {
 	if target <= len(sample) {
 		return sample, ctx.Err()
 	}
-	return extendCtx(ctx, tr, model, sample, target-len(sample), root, workers, progress)
+	return c.extendCtx(ctx, sample, target-len(sample), root, workers, progress)
 }
 
 func relDiff(a, b float64) float64 {

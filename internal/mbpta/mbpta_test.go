@@ -1,6 +1,7 @@
 package mbpta
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -144,8 +145,15 @@ func TestExtendMatchesCollect(t *testing.T) {
 	tr := loopTrace(6, 40)
 	m := proc.DefaultModel()
 	full := Collect(tr, m, 500, 3, 0)
-	part := Collect(tr, m, 200, 3, 0)
-	ext := extend(tr, m, part, 300, 3, 0)
+	c := NewCampaign(tr, m)
+	part, err := c.CollectCtx(context.Background(), 200, 3, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := c.extendCtx(context.Background(), part, 300, 3, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ext) != 500 {
 		t.Fatalf("len = %d", len(ext))
 	}

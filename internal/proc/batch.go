@@ -1,0 +1,414 @@
+package proc
+
+import (
+	"pubtac/internal/cache"
+	"pubtac/internal/rng"
+	"pubtac/internal/trace"
+)
+
+// This file implements the batched campaign replay: BatchK run seeds share
+// every pass over the compiled ID stream, with struct-of-arrays set state.
+//
+// A campaign replays one immutable CompiledTrace 10^5-10^6 times, and after
+// the per-seed compiled path the stream decode itself (token load, cache
+// select, loop control) dominates: it is paid once per seed even though the
+// stream never changes. The batch path replays BatchK seeds per pass, so
+// the decode is amortized across the block, and the per-seed state the
+// inner loop touches — set bases, set contents, replacement and jitter
+// generators, hit/miss counters — is laid out per seed so the K-wide inner
+// loop is straight-line over dense arrays.
+//
+// Two further consequences of batching:
+//
+//   - Placement is evaluated in one flat loop: for every distinct line, the
+//     per-seed placement hashes (the same pin, modulo and keyed-hash logic
+//     as cache.SetOf, with the pin and policy hoisted out) are computed for
+//     all BatchK seeds back to back.
+//   - While computing placements, the block tracks per-seed set occupancy.
+//     A seed whose placement maps at most Ways distinct lines into every
+//     set can never evict, so its run is fully determined without touching
+//     the stream: every line's first access misses, everything else hits.
+//     Such seeds are answered analytically (drawing the same number of
+//     jitter values the replay would); only conflicted seeds replay the
+//     stream. Under parametric random placement with working sets well
+//     below capacity — the paper's platform on the evaluation benchmarks —
+//     most runs take the analytic path.
+//
+// Every decision a replayed seed makes draws from the same generators in
+// the same order as a per-seed Run with that seed, so batch campaigns are
+// bit-identical to per-seed campaigns; batch_test.go enforces this against
+// both the per-seed compiled path and the uncompiled reference engine.
+
+// BatchK is the number of campaign seeds replayed per pass over the
+// compiled stream. Callers that split campaigns into blocks (package mbpta)
+// keep block sizes in multiples of BatchK so whole blocks stay on the
+// batched path. 8 seeds keep the per-block set state (BatchK copies of both
+// caches' contents) inside L1 alongside the stream.
+const BatchK = 8
+
+// batchSide is the struct-of-arrays replay state of one cache for a block
+// of BatchK seeds. Slices indexed by [id*BatchK+k] hold per-line, per-seed
+// values; slices of BatchK contiguous per-seed blocks hold set state.
+type batchSide struct {
+	keys    [BatchK]uint64         // per-seed placement hash keys
+	rands   [BatchK]rng.Xoshiro256 // per-seed replacement streams
+	hits    [BatchK]uint64
+	misses  [BatchK]uint64
+	setBase []int32  // [id*BatchK+k] -> k*sets*ways + set*ways
+	content []int32  // BatchK blocks of sets*ways line IDs
+	lruTick []uint64 // BatchK blocks of per-way ticks (LRU only)
+	occ     []uint16 // [k*sets+set] distinct-line occupancy scratch
+}
+
+// batchState is an engine's batched-campaign scratch, reused across blocks.
+type batchState struct {
+	il, dl batchSide
+	jgens  [BatchK]rng.Xoshiro256 // per-seed miss-jitter streams
+	jsum   [BatchK]uint64         // per-seed accumulated jitter cycles
+	seeds  [BatchK]uint64
+	active [BatchK]int32 // seeds that need a stream replay this block
+}
+
+// CampaignBatchInto is CampaignInto on the batched replay path: it fills
+// dst with runs offset.. of the campaign rooted at root, replaying BatchK
+// seeds per pass over the compiled stream and answering conflict-free seeds
+// analytically. Results are bit-identical to a loop of per-seed Runs. The
+// trailing len(dst)%BatchK runs go through the per-seed path; when the
+// length divides evenly, the last run's per-seed replay is deferred instead
+// (restoreCt/restoreSeed) and executed by materialize only if an accessor
+// actually observes the engine's post-campaign cache state — campaign
+// drivers never do, so back-to-back blocks pay nothing for state fidelity.
+func (e *Engine) CampaignBatchInto(tr trace.Trace, dst []float64, root uint64, offset int) {
+	n := len(dst)
+	if n == 0 {
+		return
+	}
+	ct := e.compiledFor(tr)
+	if e.batch == nil {
+		e.batch = new(batchState)
+	}
+	i := 0
+	for ; i+BatchK <= n; i += BatchK {
+		e.runBatchBlock(ct, dst[i:i+BatchK], root, offset+i)
+	}
+	for ; i < n; i++ {
+		dst[i] = float64(e.RunCompiled(ct, rng.Stream(root, offset+i)))
+	}
+	if n%BatchK == 0 {
+		e.pending = nil
+		e.restoreCt = ct
+		e.restoreSeed = rng.Stream(root, offset+n-1)
+	}
+}
+
+// runBatchBlock executes runs offset..offset+BatchK-1 into dst.
+func (e *Engine) runBatchBlock(ct *CompiledTrace, dst []float64, root uint64, offset int) {
+	b := e.batch
+	for k := range b.seeds {
+		b.seeds[k] = rng.Stream(root, offset+k)
+	}
+	conflict := b.il.placeBlock(&ct.il1, e.il1, &b.seeds, ilSeedSalt) |
+		b.dl.placeBlock(&ct.dl1, e.dl1, &b.seeds, dlSeedSalt)
+
+	jitter := e.model.Lat.MissJitter
+	n := len(ct.stream)
+	cold := len(ct.il1.lines) + len(ct.dl1.lines)
+	clean := e.cyclesFor(n, uint64(n-cold), uint64(cold), 0)
+
+	if jitter > 0 {
+		for k := 0; k < BatchK; k++ {
+			b.jgens[k].Reseed(rng.Mix64(b.seeds[k] ^ jitterSeedSalt))
+			b.jsum[k] = 0
+		}
+	}
+
+	active := b.active[:0]
+	for k := 0; k < BatchK; k++ {
+		switch {
+		case conflict&(1<<k) != 0:
+			active = append(active, int32(k))
+		case jitter > 0:
+			// A conflict-free run misses exactly on each line's first
+			// access, so it draws exactly cold jitter values; their sum is
+			// order-independent across the two caches' interleaving.
+			g := &b.jgens[k]
+			var js uint64
+			for i := 0; i < cold; i++ {
+				js += g.Uint64() % jitter
+			}
+			dst[k] = float64(clean + js)
+		default:
+			dst[k] = float64(clean)
+		}
+	}
+	if len(active) == 0 {
+		return
+	}
+
+	b.il.prepareReplay(&ct.il1, &b.seeds, active, ilSeedSalt)
+	b.dl.prepareReplay(&ct.dl1, &b.seeds, active, dlSeedSalt)
+
+	ilCfg, dlCfg := e.model.IL1, e.model.DL1
+	if ilCfg.Ways == 2 && dlCfg.Ways == 2 &&
+		ilCfg.Replacement == cache.RandomReplacement &&
+		dlCfg.Replacement == cache.RandomReplacement {
+		e.batchReplay2WayRandom(ct, active, jitter)
+	} else {
+		e.batchReplayGeneric(ct, active, jitter)
+	}
+	for _, k := range active {
+		dst[k] = float64(e.cyclesFor(n,
+			b.il.hits[k]+b.dl.hits[k], b.il.misses[k]+b.dl.misses[k], b.jsum[k]))
+	}
+}
+
+// placeBlock sizes the side's scratch, computes every (line, seed) set base
+// — the same pin, modulo and keyed-hash logic as cache.SetOf, with pin and
+// policy hoisted out of the loop — and returns the bitmask of seeds whose
+// placement overflows some set's associativity (those must replay; the rest
+// cannot evict).
+func (bs *batchSide) placeBlock(side *compiledSide, c *cache.Cache,
+	seeds *[BatchK]uint64, salt uint64) uint32 {
+
+	nl := len(side.lines)
+	nways := side.sets * side.ways
+	if cap(bs.setBase) < nl*BatchK {
+		bs.setBase = make([]int32, nl*BatchK)
+	}
+	bs.setBase = bs.setBase[:nl*BatchK]
+	if cap(bs.content) < nways*BatchK {
+		bs.content = make([]int32, nways*BatchK)
+		bs.lruTick = make([]uint64, nways*BatchK)
+		bs.occ = make([]uint16, side.sets*BatchK)
+	}
+	bs.content = bs.content[:nways*BatchK]
+	bs.lruTick = bs.lruTick[:nways*BatchK]
+	bs.occ = bs.occ[:side.sets*BatchK]
+
+	random := c.Config().Placement == cache.RandomPlacement
+	if random {
+		for k := 0; k < BatchK; k++ {
+			bs.keys[k] = cache.PlacementKey(rng.Mix64(seeds[k] ^ salt))
+		}
+	}
+
+	// More distinct lines than ways fit: the pigeonhole principle makes
+	// every seed conflicted, so skip the occupancy bookkeeping.
+	trackOcc := nl <= nways
+	if trackOcc {
+		for i := range bs.occ {
+			bs.occ[i] = 0
+		}
+	}
+
+	pin := c.Pin()
+	mask := uint64(side.sets - 1)
+	ways := int32(side.ways)
+	block := int32(nways)
+	maxOcc := uint16(side.ways)
+	var conflict uint32
+	if !trackOcc {
+		conflict = (1 << BatchK) - 1
+	}
+	for id, line := range side.lines {
+		row := id * BatchK
+		if pin != nil && pin.Lines[line] {
+			base := int32(pin.Set) * ways
+			for k := int32(0); k < BatchK; k++ {
+				bs.setBase[row+int(k)] = k*block + base
+			}
+			if trackOcc {
+				for k := 0; k < BatchK; k++ {
+					o := k*side.sets + pin.Set
+					if bs.occ[o]++; bs.occ[o] > maxOcc {
+						conflict |= 1 << k
+					}
+				}
+			}
+			continue
+		}
+		if !random {
+			set := int32(line & mask)
+			for k := int32(0); k < BatchK; k++ {
+				bs.setBase[row+int(k)] = k*block + set*ways
+			}
+			if trackOcc {
+				for k := 0; k < BatchK; k++ {
+					o := k*side.sets + int(set)
+					if bs.occ[o]++; bs.occ[o] > maxOcc {
+						conflict |= 1 << k
+					}
+				}
+			}
+			continue
+		}
+		for k := 0; k < BatchK; k++ {
+			set := int(rng.Mix64(line^bs.keys[k]) & mask)
+			bs.setBase[row+k] = int32(k)*block + int32(set)*ways
+			if trackOcc {
+				o := k*side.sets + set
+				if bs.occ[o]++; bs.occ[o] > maxOcc {
+					conflict |= 1 << k
+				}
+			}
+		}
+	}
+	return conflict
+}
+
+// prepareReplay readies the side's state for the seeds that must replay:
+// replacement streams reseeded, counters cleared, and each active seed's
+// reachable sets invalidated (the replay touches no set outside its
+// setBase, mirroring sideState.prepare's sparse invalidation). lruTick
+// needs no reset for the same reason as in the per-seed path: LRU victims
+// are only chosen among ways filled this run.
+func (bs *batchSide) prepareReplay(side *compiledSide, seeds *[BatchK]uint64,
+	active []int32, salt uint64) {
+
+	nl := len(side.lines)
+	nways := side.sets * side.ways
+	ways := int32(side.ways)
+	sparse := nl*side.ways < nways
+	for _, k := range active {
+		bs.rands[k].Reseed(cache.ReplacementSeed(rng.Mix64(seeds[k] ^ salt)))
+		bs.hits[k], bs.misses[k] = 0, 0
+		if sparse {
+			for id := 0; id < nl; id++ {
+				base := bs.setBase[id*BatchK+int(k)]
+				for w := int32(0); w < ways; w++ {
+					bs.content[base+w] = invalidID
+				}
+			}
+		} else {
+			blk := bs.content[int(k)*nways : (int(k)+1)*nways]
+			for i := range blk {
+				blk[i] = invalidID
+			}
+		}
+	}
+}
+
+// batchReplay2WayRandom is the batched form of replay2WayRandom (both
+// caches 2-way with random replacement, the paper's platform): per token,
+// the two-compare access runs for every active seed against that seed's
+// state block before the next token is decoded.
+func (e *Engine) batchReplay2WayRandom(ct *CompiledTrace, active []int32, jitter uint64) {
+	b := e.batch
+	il, dl := &b.il, &b.dl
+	ilSet, ilC := il.setBase, il.content
+	dlSet, dlC := dl.setBase, dl.content
+	for _, tok := range ct.stream {
+		if tok&dataBit == 0 {
+			id := int32(tok)
+			row := int(tok) * BatchK
+			for _, k := range active {
+				base := ilSet[row+int(k)]
+				if ilC[base] == id || ilC[base+1] == id {
+					il.hits[k]++
+					continue
+				}
+				il.misses[k]++
+				switch {
+				case ilC[base] == invalidID:
+					ilC[base] = id
+				case ilC[base+1] == invalidID:
+					ilC[base+1] = id
+				default:
+					ilC[base+int32(il.rands[k].Intn(2))] = id
+				}
+				if jitter > 0 {
+					b.jsum[k] += b.jgens[k].Uint64() % jitter
+				}
+			}
+		} else {
+			id := int32(tok &^ dataBit)
+			row := int(id) * BatchK
+			for _, k := range active {
+				base := dlSet[row+int(k)]
+				if dlC[base] == id || dlC[base+1] == id {
+					dl.hits[k]++
+					continue
+				}
+				dl.misses[k]++
+				switch {
+				case dlC[base] == invalidID:
+					dlC[base] = id
+				case dlC[base+1] == invalidID:
+					dlC[base+1] = id
+				default:
+					dlC[base+int32(dl.rands[k].Intn(2))] = id
+				}
+				if jitter > 0 {
+					b.jsum[k] += b.jgens[k].Uint64() % jitter
+				}
+			}
+		}
+	}
+}
+
+// batchReplayGeneric is the batched form of replayGeneric: full reference
+// semantics (any associativity, random or LRU replacement) for every active
+// seed. The per-cache access tick is shared — it counts stream positions,
+// which are identical across seeds.
+func (e *Engine) batchReplayGeneric(ct *CompiledTrace, active []int32, jitter uint64) {
+	b := e.batch
+	ilCfg, dlCfg := e.model.IL1, e.model.DL1
+	ilLRU := ilCfg.Replacement == cache.LRUReplacement
+	dlLRU := dlCfg.Replacement == cache.LRUReplacement
+	var ilTick, dlTick uint64
+	for _, tok := range ct.stream {
+		if tok&dataBit == 0 {
+			ilTick++
+			id := int32(tok)
+			for _, k := range active {
+				if !b.il.accessBatch(k, id, ilCfg.Ways, ilLRU, ilTick) && jitter > 0 {
+					b.jsum[k] += b.jgens[k].Uint64() % jitter
+				}
+			}
+		} else {
+			dlTick++
+			id := int32(tok &^ dataBit)
+			for _, k := range active {
+				if !b.dl.accessBatch(k, id, dlCfg.Ways, dlLRU, dlTick) && jitter > 0 {
+					b.jsum[k] += b.jgens[k].Uint64() % jitter
+				}
+			}
+		}
+	}
+}
+
+// accessBatch replays one access for seed k with full reference semantics,
+// mirroring sideState.access against the seed's state block.
+func (bs *batchSide) accessBatch(k int32, id int32, ways int, lru bool, tick uint64) bool {
+	base := bs.setBase[int(id)*BatchK+int(k)]
+	for w := int32(0); w < int32(ways); w++ {
+		if bs.content[base+w] == id {
+			bs.hits[k]++
+			bs.lruTick[base+w] = tick
+			return true
+		}
+	}
+	bs.misses[k]++
+	for w := int32(0); w < int32(ways); w++ {
+		if bs.content[base+w] == invalidID {
+			bs.content[base+w] = id
+			bs.lruTick[base+w] = tick
+			return false
+		}
+	}
+	victim := int32(0)
+	if !lru {
+		victim = int32(bs.rands[k].Intn(ways))
+	} else {
+		oldest := bs.lruTick[base]
+		for w := int32(1); w < int32(ways); w++ {
+			if bs.lruTick[base+w] < oldest {
+				oldest = bs.lruTick[base+w]
+				victim = w
+			}
+		}
+	}
+	bs.content[base+victim] = id
+	bs.lruTick[base+victim] = tick
+	return false
+}

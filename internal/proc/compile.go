@@ -51,6 +51,7 @@ type compiledSide struct {
 	lines []uint64
 	sets  int
 	ways  int
+	shift uint // byte-address-to-line shift the projection used
 }
 
 // Len returns the number of accesses in the compiled stream.
@@ -65,12 +66,12 @@ func (ct *CompiledTrace) DistinctLines() (il1, dl1 int) {
 // bit-identically to the reference engine on any engine built for the same
 // model.
 func Compile(tr trace.Trace, m Model) *CompiledTrace {
+	ilShift, dlShift := m.IL1.LineShift(), m.DL1.LineShift()
 	ct := &CompiledTrace{
-		il1:    compiledSide{sets: m.IL1.Sets, ways: m.IL1.Ways},
-		dl1:    compiledSide{sets: m.DL1.Sets, ways: m.DL1.Ways},
+		il1:    compiledSide{sets: m.IL1.Sets, ways: m.IL1.Ways, shift: ilShift},
+		dl1:    compiledSide{sets: m.DL1.Sets, ways: m.DL1.Ways, shift: dlShift},
 		stream: make([]uint32, len(tr)),
 	}
-	ilShift, dlShift := m.IL1.LineShift(), m.DL1.LineShift()
 	ilIDs := make(map[uint64]uint32)
 	dlIDs := make(map[uint64]uint32)
 	for i, a := range tr {
@@ -216,6 +217,24 @@ func (ss *sideState) writeBack(side *compiledSide, c *cache.Cache) {
 	c.SetCounters(ss.hits+ss.misses, ss.hits, ss.misses)
 }
 
+// matches reports whether the projection was compiled for cache geometry
+// cfg (same sets, ways and line size — everything Compile depends on).
+func (cs *compiledSide) matches(cfg cache.Config) bool {
+	return cs.sets == cfg.Sets && cs.ways == cfg.Ways && cs.shift == cfg.LineShift()
+}
+
+// SetCompiled installs ct, a shared compilation of tr, as this engine's
+// compiled form of tr. A CompiledTrace is immutable, so one compilation can
+// be handed to every campaign worker; each engine keeps only its private
+// per-seed replay scratch. It panics when ct was compiled for a different
+// cache geometry than the engine's model (programming error).
+func (e *Engine) SetCompiled(ct *CompiledTrace, tr trace.Trace) {
+	if !ct.il1.matches(e.model.IL1) || !ct.dl1.matches(e.model.DL1) {
+		panic("proc: SetCompiled with a trace compiled for a different cache geometry")
+	}
+	e.ct, e.ctTrace = ct, tr
+}
+
 // compiledFor returns the compiled form of tr, reusing the cached one when
 // tr is the same slice as on the previous call. Traces are treated as
 // immutable throughout the repository (PUB builds new ones), so slice
@@ -241,8 +260,15 @@ func (e *Engine) RunCompiled(ct *CompiledTrace, seed uint64) uint64 {
 // materialize flushes the pending compiled run state into the Cache
 // objects. It is called lazily by every accessor that observes cache state
 // (Misses, IL1, DL1, Replay), so back-to-back campaign runs skip the
-// write-back entirely.
+// write-back entirely. A deferred batch-campaign restore (see
+// CampaignBatchInto) is executed first: it replays the campaign's last run
+// per-seed, which leaves its state pending here.
 func (e *Engine) materialize() {
+	if e.restoreCt != nil {
+		ct := e.restoreCt
+		e.restoreCt = nil
+		e.RunCompiled(ct, e.restoreSeed)
+	}
 	if e.pending == nil {
 		return
 	}

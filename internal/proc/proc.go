@@ -62,6 +62,16 @@ func (m Model) Deterministic() Model {
 	return m
 }
 
+// Per-run seed derivation salts: one run seed fans out into independent
+// placement/replacement streams per cache plus the miss-jitter stream. The
+// batched campaign replay (batch.go) derives the same streams for many run
+// seeds at once, so these are named rather than inlined in reseed.
+const (
+	ilSeedSalt     = 0x11
+	dlSeedSalt     = 0xDD
+	jitterSeedSalt = 0x717
+)
+
 // Engine executes traces against one platform instance. It is not safe for
 // concurrent use; create one Engine per goroutine (they are cheap).
 type Engine struct {
@@ -80,6 +90,14 @@ type Engine struct {
 	ils, dls  sideState
 	pending   *CompiledTrace
 	reference bool
+
+	// Batched campaign scratch (see batch.go), allocated on first use,
+	// plus the deferred last-run replay that reconciles the engine's cache
+	// state after a batch campaign whose final run stayed on the batched
+	// path: the run is only executed when an accessor observes the state.
+	batch       *batchState
+	restoreCt   *CompiledTrace
+	restoreSeed uint64
 }
 
 // NewEngine builds an execution engine for the model.
@@ -118,9 +136,10 @@ func (e *Engine) UseReference(on bool) { e.reference = on }
 // would erase it.
 func (e *Engine) reseed(seed uint64) {
 	e.pending = nil
-	e.il1.Reseed(rng.Mix64(seed ^ 0x11))
-	e.dl1.Reseed(rng.Mix64(seed ^ 0xDD))
-	e.jitter.Reseed(rng.Mix64(seed ^ 0x717))
+	e.restoreCt = nil
+	e.il1.Reseed(rng.Mix64(seed ^ ilSeedSalt))
+	e.dl1.Reseed(rng.Mix64(seed ^ dlSeedSalt))
+	e.jitter.Reseed(rng.Mix64(seed ^ jitterSeedSalt))
 }
 
 // Run executes tr as one program run with the given seed: caches are
@@ -184,8 +203,17 @@ func (e *Engine) Campaign(tr trace.Trace, n int, root uint64) []float64 {
 // offset+1, ... of the campaign rooted at root. Because run i depends only
 // on (root, i), campaigns can be split across engines and goroutines with
 // bit-identical results.
+//
+// Unless UseReference is set, runs replay through the batched campaign path
+// (see batch.go): BatchK seeds share each pass over the compiled stream.
+// Results are bit-identical to a loop of per-seed Runs, and the engine's
+// cache state afterwards reflects the campaign's last run either way.
 func (e *Engine) CampaignInto(tr trace.Trace, dst []float64, root uint64, offset int) {
-	for i := range dst {
-		dst[i] = float64(e.Run(tr, rng.Stream(root, offset+i)))
+	if e.reference {
+		for i := range dst {
+			dst[i] = float64(e.Run(tr, rng.Stream(root, offset+i)))
+		}
+		return
 	}
+	e.CampaignBatchInto(tr, dst, root, offset)
 }

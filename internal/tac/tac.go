@@ -127,8 +127,20 @@ func MinRunsFor(p, missProb float64) int {
 	return int(math.Ceil(r))
 }
 
-// Analyze runs TAC on tr for the given platform model.
+// Analyze runs TAC on tr for the given platform model, compiling the trace
+// for its baseline campaign itself. Callers that already hold the trace's
+// compiled form (package core shares one compilation per analyzed path
+// across TAC and the measurement campaigns) use AnalyzeCompiled.
 func Analyze(tr trace.Trace, model proc.Model, cfg Config) (*Analysis, error) {
+	return AnalyzeCompiled(tr, nil, model, cfg)
+}
+
+// AnalyzeCompiled is Analyze reusing ct, a shared compilation of tr for the
+// model (nil compiles on first use). The baseline runs as a batched
+// campaign — same seeds, bit-identical mean — and the group impact replays
+// below operate on per-group subsequences, not the full trace, so the
+// compilation is only consulted here.
+func AnalyzeCompiled(tr trace.Trace, ct *proc.CompiledTrace, model proc.Model, cfg Config) (*Analysis, error) {
 	if cfg.MissProb <= 0 || cfg.MissProb >= 1 {
 		return nil, fmt.Errorf("tac: MissProb %v out of (0,1)", cfg.MissProb)
 	}
@@ -137,11 +149,16 @@ func Analyze(tr trace.Trace, model proc.Model, cfg Config) (*Analysis, error) {
 	}
 	a := &Analysis{}
 
-	// Baseline mean execution time over a handful of random layouts.
+	// Baseline mean execution time over a handful of random layouts. The
+	// seeds are rng.Stream(cfg.Seed, 0..BaselineSeeds-1), i.e. exactly a
+	// BaselineSeeds-run campaign rooted at cfg.Seed.
 	eng := proc.NewEngine(model)
+	if ct != nil {
+		eng.SetCompiled(ct, tr)
+	}
 	var sum float64
-	for s := 0; s < cfg.BaselineSeeds; s++ {
-		sum += float64(eng.Run(tr, rng.Stream(cfg.Seed, s)))
+	for _, t := range eng.Campaign(tr, cfg.BaselineSeeds, cfg.Seed) {
+		sum += t
 	}
 	a.BaselineMean = sum / float64(cfg.BaselineSeeds)
 	missCost := float64(model.Lat.Miss - model.Lat.Hit)
