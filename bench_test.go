@@ -8,6 +8,7 @@ package pubtac_test
 
 import (
 	"context"
+	"math"
 	"testing"
 
 	"pubtac"
@@ -188,6 +189,56 @@ func BenchmarkExecTrace(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		bm.Program.MustExec(in)
 	}
+}
+
+// BenchmarkCheckIID contrasts the one-shot i.i.d. battery against the
+// incremental battery at the convergence loop's steady state: n = 100k
+// collected runs, 1k-run increments. The one-shot arm re-scans and re-sorts
+// the full sample every round (the last remaining per-round O(n·lags) cost
+// after the batched replay); the incremental arm pushes the increment,
+// merges the sorted view — as the convergence loop already does for the
+// tail fit — and re-reports.
+func BenchmarkCheckIID(b *testing.B) {
+	const n, inc = 100_000, 1_000
+	gen := rng.New(42)
+	xs := make([]float64, 2*n)
+	for i := range xs {
+		// Execution-time-like values: integer cycles on a coarse grid, so
+		// the runs-test median pins quickly as in real campaigns.
+		xs[i] = math.Floor(gen.Float64()*2000) + 40000
+	}
+	b.Run("one-shot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			stats.CheckIID(xs[:n])
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		extra := xs[n:]
+		var st *stats.IIDState
+		var sorted []float64
+		reset := func() {
+			st = new(stats.IIDState)
+			st.Push(xs[:n])
+			sorted = stats.SortedCopy(xs[:n])
+			st.ReportSorted(sorted)
+		}
+		reset()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			j := i % (len(extra) / inc) * inc
+			blk := extra[j : j+inc]
+			st.Push(blk)
+			sorted = stats.MergeSorted(sorted, stats.SortedCopy(blk))
+			st.ReportSorted(sorted)
+			if st.N() >= 2*n {
+				// Keep the battery pinned near the nominal sample size:
+				// rebuild outside the timer once the campaign doubled.
+				b.StopTimer()
+				reset()
+				b.StartTimer()
+			}
+		}
+	})
 }
 
 // --- Ablation benchmarks (design decisions in DESIGN.md §5) -----------

@@ -224,7 +224,8 @@ func (a *Analyzer) analyzeOn(ctx context.Context, pubbed *program.Program, name 
 	// R-run campaign: extend it with runs conv.Runs..R-1 instead of
 	// re-simulating the converged prefix from scratch (bit-identical, and
 	// the convergence runs are no longer paid for twice). The converged
-	// sorted view is reused the same way: sort the extension, merge.
+	// sorted view and i.i.d. battery are reused the same way: sort the
+	// extension and merge, push the extension and re-report.
 	prefix := conv.Estimate.Sample
 	sample, err := camp.ExtendToCtx(ctx, prefix, pa.RunsUsed, root,
 		workers, a.progressFn(name, in.Name, "campaign"))
@@ -232,7 +233,13 @@ func (a *Analyzer) analyzeOn(ctx context.Context, pubbed *program.Program, name 
 		return nil, fmt.Errorf("core: campaign on %s(%s): %w", name, in.Name, err)
 	}
 	sorted := stats.MergeSorted(conv.Sorted, stats.SortedCopy(sample[len(prefix):]))
-	full, err := mbpta.NewEstimateSorted(sample, sorted, a.cfg.MBPTA)
+	var full *mbpta.Estimate
+	if conv.IID != nil {
+		conv.IID.Push(sample[len(prefix):])
+		full, err = mbpta.NewEstimateIID(sample, sorted, conv.IID, a.cfg.MBPTA)
+	} else {
+		full, err = mbpta.NewEstimateSorted(sample, sorted, a.cfg.MBPTA)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: estimating %s(%s): %w", name, in.Name, err)
 	}

@@ -221,6 +221,36 @@ func TestPathAnalysisRecordsTACClasses(t *testing.T) {
 	}
 }
 
+func TestExtensionBatteryMatchesOneShot(t *testing.T) {
+	// On bs, TAC demands more runs than MBPTA converged with, so analyzeOn
+	// takes the campaign-extension path: the convergence rounds' battery
+	// state is Pushed forward instead of re-scanning R runs. The resulting
+	// report must match the one-shot reference battery over the full
+	// sample (runs test and two-half KS bit-identically, Ljung-Box to
+	// reassociation error).
+	b := malardalen.BS()
+	a := New(testConfig())
+	pa, err := a.AnalyzePath(b.Program, b.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.RunsUsed <= pa.RPub {
+		t.Fatalf("extension path not exercised: RunsUsed %d <= RPub %d", pa.RunsUsed, pa.RPub)
+	}
+	got := pa.Full.IID
+	want := stats.CheckIID(pa.Full.Sample)
+	if got.Runs != want.Runs || got.Identical != want.Identical {
+		t.Fatalf("extension battery diverged from one-shot: %+v vs %+v", got, want)
+	}
+	lbDiff := got.LjungBox.Statistic - want.LjungBox.Statistic
+	if lbDiff < 0 {
+		lbDiff = -lbDiff
+	}
+	if scale := 1 + want.LjungBox.Statistic; lbDiff > 1e-8*scale {
+		t.Fatalf("ljung-box diverged: %+v vs %+v", got.LjungBox, want.LjungBox)
+	}
+}
+
 func max(a, b int) int {
 	if a > b {
 		return a

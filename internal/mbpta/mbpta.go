@@ -50,6 +50,12 @@ type Config struct {
 	Alpha float64
 	// Workers bounds campaign parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// ReferenceIID disables the incremental i.i.d. battery in convergence
+	// searches and campaign extensions: every round recomputes the
+	// one-shot stats.CheckIID battery over the full sample instead. It is
+	// the battery's analogue of proc's Engine.UseReference — slower, kept
+	// as the reference oracle for equivalence tests.
+	ReferenceIID bool
 }
 
 // DefaultConfig returns the configuration used throughout the evaluation.
@@ -219,10 +225,37 @@ func NewEstimate(sample []float64, cfg Config) (*Estimate, error) {
 // NewEstimateSorted is NewEstimate for callers that already hold an
 // ascending-sorted view of sample (the convergence loop maintains one
 // incrementally across rounds). The single sort is shared by every
-// candidate tail fit, every CV test and the empirical ECCDF; sorted is
-// adopted by the estimate and must not be modified afterwards. sample
-// stays in run order (the i.i.d. battery needs it).
+// candidate tail fit, every CV test, the empirical ECCDF and the runs-test
+// median of the i.i.d. battery; sorted is adopted by the estimate and must
+// not be modified afterwards. sample stays in run order (the i.i.d. battery
+// needs it).
 func NewEstimateSorted(sample, sorted []float64, cfg Config) (*Estimate, error) {
+	est, err := fitSorted(sample, sorted, cfg)
+	if err != nil {
+		return nil, err
+	}
+	est.IID = stats.CheckIIDSorted(sample, sorted)
+	return est, nil
+}
+
+// NewEstimateIID is NewEstimateSorted for callers that additionally
+// maintain the i.i.d. battery incrementally: st must have been fed exactly
+// sample, in run order, through Push. The admissibility report then costs
+// O(lags) plus the battery's unscanned suffix instead of a full-sample
+// re-scan; the one-shot path (NewEstimate/NewEstimateSorted) stays as the
+// reference battery for external callers and for Config.ReferenceIID.
+func NewEstimateIID(sample, sorted []float64, st *stats.IIDState, cfg Config) (*Estimate, error) {
+	est, err := fitSorted(sample, sorted, cfg)
+	if err != nil {
+		return nil, err
+	}
+	est.IID = st.ReportSorted(sorted)
+	return est, nil
+}
+
+// fitSorted fits the tail and composite curve on the shared sorted view;
+// the caller fills in the admissibility report.
+func fitSorted(sample, sorted []float64, cfg Config) (*Estimate, error) {
 	tail, cv, err := evt.FitExpTailAutoSorted(sorted, cfg.TailCount, len(sorted)/5)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrSampleTooSmall, err)
@@ -231,7 +264,6 @@ func NewEstimateSorted(sample, sorted []float64, cfg Config) (*Estimate, error) 
 		Curve:  evt.NewCompositeSorted(sorted, tail),
 		Tail:   tail,
 		Sample: sample,
-		IID:    stats.CheckIID(sample),
 		CV:     cv,
 	}, nil
 }
@@ -258,6 +290,12 @@ type Convergence struct {
 	// core) merge new runs into it instead of re-sorting; treat it as
 	// read-only.
 	Sorted []float64
+
+	// IID is the incremental admissibility battery covering
+	// Estimate.Sample. Callers extending the campaign (package core) Push
+	// the extension and re-report instead of re-scanning the whole sample.
+	// It is nil when the search ran with Config.ReferenceIID.
+	IID *stats.IIDState
 }
 
 // Converge grows a measurement campaign until the probe pWCET stabilizes:
@@ -294,9 +332,17 @@ func (c *Campaign) ConvergeCtx(ctx context.Context, cfg Config,
 	// The sorted view is maintained incrementally: each round sorts only
 	// its increment and merges it in, so the per-round estimation cost is
 	// O(n + inc·log inc) instead of a full O(n log n) re-sort (times the
-	// number of candidate tails, before the sort-once rework in evt).
+	// number of candidate tails, before the sort-once rework in evt). The
+	// i.i.d. battery is maintained the same way: each round pushes only
+	// its increment into the accumulator instead of CheckIID re-scanning
+	// the full sample.
 	sorted := stats.SortedCopy(sample)
-	est, err := NewEstimateSorted(sample, sorted, cfg)
+	var iid *stats.IIDState
+	if !cfg.ReferenceIID {
+		iid = new(stats.IIDState)
+		iid.Push(sample)
+	}
+	est, err := roundEstimate(sample, sorted, iid, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -309,10 +355,13 @@ func (c *Campaign) ConvergeCtx(ctx context.Context, cfg Config,
 		if err != nil {
 			return nil, err
 		}
+		if iid != nil {
+			iid.Push(sample[n:])
+		}
 		sorted = stats.MergeSorted(sorted, stats.SortedCopy(sample[n:]))
 		n = len(sample)
 		rounds++
-		est, err = NewEstimateSorted(sample, sorted, cfg)
+		est, err = roundEstimate(sample, sorted, iid, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -320,14 +369,24 @@ func (c *Campaign) ConvergeCtx(ctx context.Context, cfg Config,
 		if relDiff(cur, prev) <= cfg.StabilityEps {
 			stable++
 			if stable >= cfg.StableRounds {
-				return &Convergence{Runs: n, Rounds: rounds, Converged: true, Estimate: est, Sorted: sorted}, nil
+				return &Convergence{Runs: n, Rounds: rounds, Converged: true, Estimate: est, Sorted: sorted, IID: iid}, nil
 			}
 		} else {
 			stable = 0
 		}
 		prev = cur
 	}
-	return &Convergence{Runs: n, Rounds: rounds, Converged: false, Estimate: est, Sorted: sorted}, nil
+	return &Convergence{Runs: n, Rounds: rounds, Converged: false, Estimate: est, Sorted: sorted, IID: iid}, nil
+}
+
+// roundEstimate fits one convergence round's estimate: through the
+// incremental battery when one is maintained, through the one-shot
+// reference battery otherwise (Config.ReferenceIID).
+func roundEstimate(sample, sorted []float64, iid *stats.IIDState, cfg Config) (*Estimate, error) {
+	if iid == nil {
+		return NewEstimateSorted(sample, sorted, cfg)
+	}
+	return NewEstimateIID(sample, sorted, iid, cfg)
 }
 
 // extendCtx appends inc new runs to sample, cancellably. The new runs'

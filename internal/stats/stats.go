@@ -178,6 +178,40 @@ func Autocorrelation(xs []float64, k int) float64 {
 	return num / den
 }
 
+// AutocorrelationsTo returns the lag-1..maxLag sample autocorrelation
+// coefficients of xs, computing the mean and the normalizing denominator
+// once and sharing them across lags. Per-lag results are bit-identical to
+// Autocorrelation, which recomputes both on every call — a 20-lag Ljung-Box
+// built on it scans the sample 40 extra times. Lags too long for the series
+// (n < k+2) are reported as 0, matching Autocorrelation.
+func AutocorrelationsTo(xs []float64, maxLag int) []float64 {
+	if maxLag < 1 {
+		return nil
+	}
+	rs := make([]float64, maxLag)
+	n := len(xs)
+	if n < 3 {
+		return rs
+	}
+	m := Mean(xs)
+	var den float64
+	for _, x := range xs {
+		d := x - m
+		den += d * d
+	}
+	if den == 0 {
+		return rs
+	}
+	for k := 1; k <= maxLag && n >= k+2; k++ {
+		var num float64
+		for i := 0; i < n-k; i++ {
+			num += (xs[i] - m) * (xs[i+k] - m)
+		}
+		rs[k-1] = num / den
+	}
+	return rs
+}
+
 // MeanExcess returns the mean of (x - u) over all x in xs with x > u, and
 // the number of such exceedances. It is the basic estimator for the rate of
 // an exponential tail above threshold u.

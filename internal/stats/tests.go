@@ -27,33 +27,50 @@ func (r TestResult) Passed(alpha float64) bool { return r.PValue >= alpha }
 // RunsTest performs the Wald-Wolfowitz runs test for randomness on xs,
 // dichotomizing the series around its median. Values equal to the median are
 // discarded, per the standard formulation. The null hypothesis is that the
-// sequence is random (independent).
+// sequence is random (independent). Degenerate inputs — an empty sample, or
+// one whose every value ties with the median — trivially pass with PValue 1,
+// consistent with LjungBox and IdenticalDistribution: the battery never
+// panics.
 func RunsTest(xs []float64) TestResult {
-	med := Median(xs)
-	var signs []bool
-	for _, x := range xs {
-		if x == med {
-			continue
-		}
-		signs = append(signs, x > med)
-	}
-	n := len(signs)
-	if n < 2 {
+	if len(xs) == 0 {
 		return TestResult{Name: "runs", Statistic: 0, PValue: 1}
 	}
-	var n1, n2 int
-	runs := 1
-	for i, s := range signs {
-		if s {
+	return RunsTestMedian(xs, Median(xs))
+}
+
+// RunsTestMedian is RunsTest with the dichotomization threshold supplied by
+// the caller. Holders of an ascending-sorted view (the convergence loop)
+// pass the O(1) median from it instead of paying RunsTest's internal
+// copy+sort of the whole sample.
+func RunsTestMedian(xs []float64, med float64) TestResult {
+	var n1, n2, runs int
+	var last int8
+	for _, x := range xs {
+		var sign int8
+		switch {
+		case x > med:
+			sign = 1
 			n1++
-		} else {
+		case x < med:
+			sign = -1
 			n2++
+		default:
+			continue
 		}
-		if i > 0 && signs[i] != signs[i-1] {
+		if last == 0 {
+			runs = 1
+		} else if sign != last {
 			runs++
 		}
+		last = sign
 	}
-	if n1 == 0 || n2 == 0 {
+	return runsResult(n1, n2, runs)
+}
+
+// runsResult turns runs-test counts (values above/below the median, number
+// of sign runs) into the z statistic and its normal-approximation p-value.
+func runsResult(n1, n2, runs int) TestResult {
+	if n1+n2 < 2 || n1 == 0 || n2 == 0 {
 		return TestResult{Name: "runs", Statistic: 0, PValue: 1}
 	}
 	f1, f2 := float64(n1), float64(n2)
@@ -70,20 +87,27 @@ func RunsTest(xs []float64) TestResult {
 
 // LjungBox performs the Ljung-Box portmanteau test on xs with the given
 // number of lags. The null hypothesis is absence of autocorrelation up to
-// that lag.
+// that lag. The mean and the autocorrelation denominator are computed once
+// and shared across lags (see AutocorrelationsTo).
 func LjungBox(xs []float64, lags int) TestResult {
 	n := len(xs)
 	if lags < 1 || n <= lags+1 {
 		return TestResult{Name: "ljung-box", Statistic: 0, PValue: 1}
 	}
+	return ljungBoxFromAutocorr(AutocorrelationsTo(xs, lags), n)
+}
+
+// ljungBoxFromAutocorr assembles the Ljung-Box statistic and its p-value
+// from the lag-1..len(rs) autocorrelations of an n-value series; the
+// one-shot test and the incremental battery share it so the two can never
+// drift apart on the pooling formula.
+func ljungBoxFromAutocorr(rs []float64, n int) TestResult {
 	var q float64
-	for k := 1; k <= lags; k++ {
-		r := Autocorrelation(xs, k)
-		q += r * r / float64(n-k)
+	for k, r := range rs {
+		q += r * r / float64(n-(k+1))
 	}
 	q *= float64(n) * (float64(n) + 2)
-	p := ChiSquareSurvival(q, lags)
-	return TestResult{Name: "ljung-box", Statistic: q, PValue: p}
+	return TestResult{Name: "ljung-box", Statistic: q, PValue: ChiSquareSurvival(q, len(rs))}
 }
 
 // KSTwoSample performs the two-sample Kolmogorov-Smirnov test between a and
@@ -119,17 +143,40 @@ type IIDReport struct {
 }
 
 // CheckIID runs the full i.i.d. battery on xs with the conventional 20 lags
-// for Ljung-Box (or n/4 for short samples).
+// for Ljung-Box (or n/4 for short samples). It never panics: degenerate
+// samples (empty, shorter than the tests need, constant) trivially pass
+// every check with PValue 1.
 func CheckIID(xs []float64) IIDReport {
-	lags := 20
-	if len(xs)/4 < lags {
-		lags = len(xs) / 4
-	}
 	return IIDReport{
 		Runs:      RunsTest(xs),
-		LjungBox:  LjungBox(xs, lags),
+		LjungBox:  LjungBox(xs, iidLags(len(xs))),
 		Identical: IdenticalDistribution(xs),
 	}
+}
+
+// CheckIIDSorted is CheckIID for callers that already hold an
+// ascending-sorted view of xs: the runs-test median comes from the sorted
+// view in O(1) instead of an internal copy+sort. xs stays in run order (the
+// independence tests need it); sorted must hold the same values ascending.
+func CheckIIDSorted(xs, sorted []float64) IIDReport {
+	runs := TestResult{Name: "runs", Statistic: 0, PValue: 1}
+	if len(xs) > 0 {
+		runs = RunsTestMedian(xs, QuantileSorted(sorted, 0.5))
+	}
+	return IIDReport{
+		Runs:      runs,
+		LjungBox:  LjungBox(xs, iidLags(len(xs))),
+		Identical: IdenticalDistribution(xs),
+	}
+}
+
+// iidLags is the battery's Ljung-Box lag rule: 20 lags, n/4 for short
+// samples.
+func iidLags(n int) int {
+	if n/4 < iidMaxLags {
+		return n / 4
+	}
+	return iidMaxLags
 }
 
 // Passed reports whether all three checks pass at significance alpha.
