@@ -165,6 +165,32 @@ func BenchmarkTACAnalyze(b *testing.B) {
 	}
 }
 
+// BenchmarkTACAnalyzeWide measures TAC on the pubbed bs trace at the
+// opened-up scenario PR 5 unlocked: HotLines=24 with MaxExtraWays=1, i.e.
+// every hot line of the trace considered and W+2-line groups enumerated on
+// top of the W+1 ones. Before the posting-list enumeration this
+// configuration sat behind a combinatorial cliff (a full-trace scan and a
+// per-seed pinned replay for every candidate); it is now gated in CI as its
+// own baseline.
+func BenchmarkTACAnalyzeWide(b *testing.B) {
+	bm := malardalen.BS()
+	pubbed, _, err := pub.Transform(bm.Program)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := pubbed.MustExec(bm.Default()).Trace
+	model := proc.DefaultModel()
+	cfg := tac.DefaultConfig()
+	cfg.HotLines = 24
+	cfg.MaxExtraWays = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tac.Analyze(tr, model, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCampaign1k measures a 1000-run campaign of the pubbed bs path.
 func BenchmarkCampaign1k(b *testing.B) {
 	bm := malardalen.BS()

@@ -152,7 +152,13 @@ var progressMilestones = map[string]int{}
 
 // printProgress renders progress events; campaign workers emit them
 // frequently, so only ~4096-run milestones and terminal events are shown.
+// Warnings (e.g. an inadmissible i.i.d. battery at convergence) are always
+// printed with their detail.
 func printProgress(ev pubtac.ProgressEvent) {
+	if ev.Phase == "warning" {
+		fmt.Fprintf(os.Stderr, "  [%s/%s] warning: %s\n", ev.Program, ev.Input, ev.Note)
+		return
+	}
 	if ev.Phase != "done" {
 		key := ev.Program + "/" + ev.Input + "/" + ev.Phase
 		bucket := ev.Done / 4096

@@ -26,6 +26,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 
 	"pubtac/internal/mbpta"
 	"pubtac/internal/proc"
@@ -39,13 +40,18 @@ import (
 // emitted from campaign workers as simulation blocks complete; Target is
 // the currently known run requirement and can grow between events (MBPTA
 // convergence extends its own target, and the TAC campaign phase raises it
-// to R).
+// to R). A "warning" event flags a statistical admissibility problem —
+// currently an i.i.d. battery failure at convergence — with the detail in
+// Note; the analysis still completes (the battery is diagnostic, per the
+// MBPTA protocol the sample is i.i.d. by construction), but the pWCET
+// consumer should know.
 type ProgressEvent struct {
 	Program string // original program name
 	Input   string // input vector selecting the path
-	Phase   string // "converge", "campaign" or "done"
+	Phase   string // "converge", "campaign", "warning" or "done"
 	Done    int    // runs completed so far
 	Target  int    // runs currently required
+	Note    string // human-readable detail for "warning" events
 }
 
 // Config assembles the knobs of the full pipeline.
@@ -179,7 +185,17 @@ func (a *Analyzer) analyzeOn(ctx context.Context, pubbed *program.Program, name 
 	// scratch).
 	camp := mbpta.NewCampaign(res.Trace, a.cfg.Model)
 
-	ta, err := tac.AnalyzeCompiled(res.Trace, camp.Compiled, a.cfg.Model, a.cfg.TAC)
+	// TAC's parallel group evaluation rides the path's simulation worker
+	// share (the same pool budget the campaigns use) unless the TAC config
+	// pins its own count. Results are worker-count independent.
+	tcfg := a.cfg.TAC
+	if tcfg.Workers == 0 {
+		tcfg.Workers = workers
+		if tcfg.Workers <= 0 {
+			tcfg.Workers = runtime.GOMAXPROCS(0)
+		}
+	}
+	ta, err := tac.AnalyzeCompiled(res.Trace, camp.Compiled, a.cfg.Model, tcfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: TAC on %s(%s): %w", name, in.Name, err)
 	}
@@ -192,6 +208,7 @@ func (a *Analyzer) analyzeOn(ctx context.Context, pubbed *program.Program, name 
 	if err != nil {
 		return nil, fmt.Errorf("core: MBPTA convergence on %s(%s): %w", name, in.Name, err)
 	}
+	a.warnIID(name, in.Name, "convergence", conv.Estimate, conv.Runs)
 
 	pa := &PathAnalysis{
 		Program:   name,
@@ -244,6 +261,12 @@ func (a *Analyzer) analyzeOn(ctx context.Context, pubbed *program.Program, name 
 		return nil, fmt.Errorf("core: estimating %s(%s): %w", name, in.Name, err)
 	}
 	pa.Full = full
+	// The shipped pWCET is built on the extended sample; if its battery
+	// fails where the convergence-time one passed, that deserves its own
+	// warning (a failing convergence battery already warned above).
+	if conv.Estimate.IID.Passed(a.cfg.MBPTA.Alpha) {
+		a.warnIID(name, in.Name, "campaign extension", full, pa.RunsUsed)
+	}
 	a.done(name, in.Name, pa.RunsUsed)
 	return pa, nil
 }
@@ -253,6 +276,33 @@ func (a *Analyzer) done(name, input string, runs int) {
 	if a.cfg.Progress != nil {
 		a.cfg.Progress(ProgressEvent{Program: name, Input: input, Phase: "done", Done: runs, Target: runs})
 	}
+}
+
+// warnIID surfaces an inadmissible i.i.d. battery through the progress
+// sink — at convergence, and again should the TAC-demanded campaign
+// extension's battery fail after a passing convergence (the shipped pWCET
+// is built on the extended sample). The battery is diagnostic — campaign
+// runs draw independent seeds, so failures indicate a fit problem or
+// sheer chance at the configured significance, not a protocol violation —
+// but silently attaching a pWCET to a sample that failed its own
+// admissibility checks is the kind of thing a certification reviewer
+// should see.
+func (a *Analyzer) warnIID(name, input, when string, est *mbpta.Estimate, runs int) {
+	if a.cfg.Progress == nil || est == nil {
+		return
+	}
+	r := est.IID
+	alpha := a.cfg.MBPTA.Alpha
+	if r.Passed(alpha) {
+		return
+	}
+	a.cfg.Progress(ProgressEvent{
+		Program: name, Input: input, Phase: "warning",
+		Done: runs, Target: runs,
+		Note: fmt.Sprintf(
+			"i.i.d. battery inadmissible at %s (alpha=%.3g: runs p=%.3g, ljung-box p=%.3g, ks p=%.3g)",
+			when, alpha, r.Runs.PValue, r.LjungBox.PValue, r.Identical.PValue),
+	})
 }
 
 // OriginalAnalysis is plain MBPTA on the unmodified program: the paper's
@@ -293,6 +343,7 @@ func (a *Analyzer) AnalyzeOriginalCtx(ctx context.Context, p *program.Program,
 	if err != nil {
 		return nil, err
 	}
+	a.warnIID(p.Name, in.Name, "convergence", conv.Estimate, conv.Runs)
 	a.done(p.Name, in.Name, conv.Runs)
 	return &OriginalAnalysis{
 		Program:  p.Name,

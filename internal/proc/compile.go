@@ -62,6 +62,38 @@ func (ct *CompiledTrace) DistinctLines() (il1, dl1 int) {
 	return len(ct.il1.lines), len(ct.dl1.lines)
 }
 
+// SideLines returns the distinct line addresses of one cache side in
+// first-appearance order — the dense ID of a line is its index. The slice
+// is the compilation's own and must be treated as read-only; package tac
+// builds its posting-list index on these IDs instead of re-projecting the
+// trace through a map of its own.
+func (ct *CompiledTrace) SideLines(k trace.Kind) []uint64 {
+	if k == trace.Instr {
+		return ct.il1.lines
+	}
+	return ct.dl1.lines
+}
+
+// SideIDs appends the dense line IDs of one cache side, in stream order,
+// to dst and returns it — the side's line sequence in the ID space of
+// SideLines.
+func (ct *CompiledTrace) SideIDs(k trace.Kind, dst []int32) []int32 {
+	if k == trace.Instr {
+		for _, tok := range ct.stream {
+			if tok&dataBit == 0 {
+				dst = append(dst, int32(tok))
+			}
+		}
+		return dst
+	}
+	for _, tok := range ct.stream {
+		if tok&dataBit != 0 {
+			dst = append(dst, int32(tok&^dataBit))
+		}
+	}
+	return dst
+}
+
 // Compile projects tr onto the cache geometry of m. The result replays
 // bit-identically to the reference engine on any engine built for the same
 // model.

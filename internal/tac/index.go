@@ -1,0 +1,272 @@
+package tac
+
+import (
+	"sort"
+
+	"pubtac/internal/cache"
+	"pubtac/internal/rng"
+)
+
+// This file builds the per-cache posting-list index behind the default
+// group enumeration (enum.go). The reference enumeration pays a full scan
+// of the side's line sequence for every candidate group; the index is built
+// once per side and gives three things:
+//
+//   - postings: per hot line, the ascending positions of its accesses. A
+//     group's subsequence is a k-way merge of its lines' postings — O(|sub|)
+//     per group instead of O(|seq|).
+//   - pairwise interleaving counts: itl[a][b] counts the accesses of b whose
+//     reuse gap (since the previous access of b) contains at least one
+//     access of a. They feed the reuse-distance prefilter's per-group upper
+//     bound on forced-placement misses (see groupBound in enum.go).
+//   - dense baseline misses: the per-line baseline of the reference arm
+//     (baselineLineMisses), recorded into dense line-ID arrays instead of a
+//     map, with the cache replayed through the same flat-state loop as
+//     proc's compiled engine. Values are bit-identical to the map arm.
+type sideIndex struct {
+	hot  []uint64 // hot line addresses (count-desc, addr-asc), as hotLines returns
+	occ  []int32  // per hot index: total accesses of the line
+	off  []int32  // posting offsets: hot line h occupies post[off[h]:off[h+1]]
+	post []int32  // concatenated postings (positions in the side's line sequence)
+
+	// itl[a*H+b] counts the non-first accesses of hot line b whose reuse gap
+	// contains >= 1 access of hot line a (a != b). An access of b can only
+	// miss in a forced-placement replay of a group G when some other line of
+	// G was accessed — and itself missed — inside that gap, so summing the
+	// column over a in G upper-bounds b's non-cold misses (union bound).
+	itl []int32
+
+	// base[h] is the baseline mean miss count of hot line h over
+	// BaselineSeeds unconstrained random layouts — the same value the
+	// reference arm reads from its map.
+	base []float64
+}
+
+// buildSideIndex indexes one cache side's line sequence under cfg. The
+// sequence arrives pre-projected as dense first-appearance line IDs (ids)
+// with their addresses (lines) — proc.Compile's per-side projection, shared
+// through CompiledTrace.SideIDs/SideLines so the map work is paid once per
+// trace, not re-done per analysis side.
+func buildSideIndex(ids []int32, lines []uint64, cfgC cache.Config, cfg Config) *sideIndex {
+	counts := make([]int32, len(lines))
+	for _, id := range ids {
+		counts[id]++
+	}
+
+	hotIDs := hotLinesDense(lines, counts, cfg.HotLines)
+	h := len(hotIDs)
+	sx := &sideIndex{hot: make([]uint64, h)}
+
+	// hotOf maps a dense line ID to its hot index (-1 when not hot).
+	hotOf := make([]int32, len(lines))
+	for i := range hotOf {
+		hotOf[i] = -1
+	}
+	sx.occ = make([]int32, h)
+	for hi, id := range hotIDs {
+		sx.hot[hi] = lines[id]
+		hotOf[id] = int32(hi)
+		sx.occ[hi] = counts[id]
+	}
+
+	// Postings, allocated exactly from the occurrence counts.
+	sx.off = make([]int32, h+1)
+	for hi := range sx.occ {
+		sx.off[hi+1] = sx.off[hi] + sx.occ[hi]
+	}
+	sx.post = make([]int32, sx.off[h])
+	next := make([]int32, h)
+	copy(next, sx.off[:h])
+
+	// Pairwise interleaving in the same pass: lastPos[a] is the position of
+	// a's latest access, so a appears in b's reuse gap (p, i) exactly when
+	// lastPos[a] > p at the time b is accessed.
+	sx.itl = make([]int32, h*h)
+	lastPos := make([]int32, h)
+	for i := range lastPos {
+		lastPos[i] = -1
+	}
+	for i, id := range ids {
+		b := hotOf[id]
+		if b < 0 {
+			continue
+		}
+		sx.post[next[b]] = int32(i)
+		next[b]++
+		if p := lastPos[b]; p >= 0 {
+			for a := 0; a < h; a++ {
+				if int32(a) != b && lastPos[a] > p {
+					sx.itl[a*h+int(b)]++
+				}
+			}
+		}
+		lastPos[b] = int32(i)
+	}
+
+	baseAll := baselineLineMissesDense(ids, lines, cfgC, cfg)
+	sx.base = make([]float64, h)
+	for hi, id := range hotIDs {
+		sx.base[hi] = baseAll[id]
+	}
+	return sx
+}
+
+// hotLinesDense is hotLines on dense per-line counts: the IDs of up to n
+// of the most frequently accessed lines, count-descending with ties broken
+// by address, lines accessed once excluded. Selection and order are
+// identical to the reference arm's map-based helper.
+func hotLinesDense(lines []uint64, counts []int32, n int) []int32 {
+	sel := make([]int32, 0, len(lines))
+	for id := range lines {
+		if counts[id] >= 2 {
+			sel = append(sel, int32(id))
+		}
+	}
+	sort.Slice(sel, func(i, j int) bool {
+		if counts[sel[i]] != counts[sel[j]] {
+			return counts[sel[i]] > counts[sel[j]]
+		}
+		return lines[sel[i]] < lines[sel[j]]
+	})
+	if len(sel) > n {
+		sel = sel[:n]
+	}
+	return sel
+}
+
+// baselineLineMissesDense is baselineLineMisses on dense line IDs: the same
+// BaselineSeeds random-layout replays of the full sequence, with the cache
+// semantics of cache.AccessLine inlined over flat ID-indexed set state (the
+// shape of proc's compiled replay) and the per-line miss counts recorded
+// into an array instead of a map. Placement keys, replacement draws and LRU
+// tie-breaks reproduce cache.Reseed/AccessLine exactly, so the returned
+// means are bit-identical to the reference arm's.
+func baselineLineMissesDense(ids []int32, lines []uint64, cfgC cache.Config, cfg Config) []float64 {
+	nl := len(lines)
+	counts := make([]int64, nl)
+	setBase := make([]int32, nl)
+	nways := cfgC.Sets * cfgC.Ways
+	content := make([]int32, nways)
+	var lruTick []uint64
+	lru := cfgC.Replacement == cache.LRUReplacement
+	if lru {
+		lruTick = make([]uint64, nways)
+	}
+	modulo := cfgC.Placement == cache.ModuloPlacement
+	mask := uint64(cfgC.Sets - 1)
+	ways := int32(cfgC.Ways)
+	var gen rng.Xoshiro256
+
+	// Occupancy scratch for the conflict-free shortcut: a seed whose
+	// placement maps at most Ways distinct lines into every set can never
+	// evict, so each line misses exactly once (its cold miss) and draws
+	// nothing — the counts are final without walking the stream, the same
+	// analytic answer proc's batched campaign gives such seeds.
+	trackOcc := nl <= nways
+	var occ []int16
+	if trackOcc {
+		occ = make([]int16, cfgC.Sets)
+	}
+
+	for s := 0; s < cfg.BaselineSeeds; s++ {
+		seed := rng.Stream(cfg.Seed^0xBA5E, s)
+		key := cache.PlacementKey(seed)
+		gen.Reseed(cache.ReplacementSeed(seed))
+		conflicted := true
+		if trackOcc {
+			for i := range occ {
+				occ[i] = 0
+			}
+			conflicted = false
+			for id, line := range lines {
+				var set int32
+				if modulo {
+					set = int32(line & mask)
+				} else {
+					set = int32(rng.Mix64(line^key) & mask)
+				}
+				setBase[id] = set * ways
+				if occ[set]++; occ[set] > int16(ways) {
+					conflicted = true
+				}
+			}
+		} else {
+			for id, line := range lines {
+				if modulo {
+					setBase[id] = int32(line&mask) * ways
+				} else {
+					setBase[id] = int32(rng.Mix64(line^key)&mask) * ways
+				}
+			}
+		}
+		if !conflicted {
+			for id := range counts {
+				counts[id]++
+			}
+			continue
+		}
+		for i := range content {
+			content[i] = invalidLine
+		}
+		// lruTick needs no reset: victims are only chosen among ways filled
+		// this run, whose ticks were all written this run (the same property
+		// cache.Flush and proc's compiled replay rely on).
+		var tick uint64
+	stream:
+		for _, id := range ids {
+			tick++
+			base := setBase[id]
+			for w := int32(0); w < ways; w++ {
+				if content[base+w] == id {
+					if lru {
+						lruTick[base+w] = tick
+					}
+					continue stream
+				}
+			}
+			counts[id]++
+			placed := false
+			for w := int32(0); w < ways; w++ {
+				if content[base+w] == invalidLine {
+					content[base+w] = id
+					if lru {
+						lruTick[base+w] = tick
+					}
+					placed = true
+					break
+				}
+			}
+			if placed {
+				continue
+			}
+			victim := int32(0)
+			if !lru {
+				victim = int32(gen.Intn(int(ways)))
+			} else {
+				oldest := lruTick[base]
+				for w := int32(1); w < ways; w++ {
+					if lruTick[base+w] < oldest {
+						oldest = lruTick[base+w]
+						victim = w
+					}
+				}
+			}
+			content[base+victim] = id
+			if lru {
+				lruTick[base+victim] = tick
+			}
+		}
+	}
+
+	out := make([]float64, nl)
+	if cfg.BaselineSeeds > 0 {
+		for id, c := range counts {
+			out[id] = float64(c) / float64(cfg.BaselineSeeds)
+		}
+	}
+	return out
+}
+
+// invalidLine is the empty-way sentinel of the dense replays (line IDs and
+// hot indices are non-negative).
+const invalidLine = -1

@@ -74,6 +74,22 @@ type Config struct {
 
 	// Seed roots the deterministic randomness of the analysis itself.
 	Seed uint64
+
+	// Workers bounds the parallel evaluation of the groups surviving the
+	// reuse-distance prefilter (<= 1 evaluates serially). Results are
+	// deterministic and independent of the worker count; package core
+	// threads each path's simulation worker share through here, so
+	// Session-level TAC rides the same pool budget as the campaigns.
+	Workers int
+
+	// ReferenceEnumeration disables the posting-list enumeration and its
+	// reuse-distance prefilter: every candidate group is evaluated with the
+	// original full-sequence scan. The Analysis is bit-identical either way
+	// (the prefilter only discards groups whose impact upper bound already
+	// fails the relevance threshold); the reference arm is kept as the
+	// equivalence oracle, mirroring proc's Engine.UseReference and mbpta's
+	// Config.ReferenceIID.
+	ReferenceEnumeration bool
 }
 
 // DefaultConfig returns the configuration used throughout the evaluation.
@@ -136,10 +152,12 @@ func Analyze(tr trace.Trace, model proc.Model, cfg Config) (*Analysis, error) {
 }
 
 // AnalyzeCompiled is Analyze reusing ct, a shared compilation of tr for the
-// model (nil compiles on first use). The baseline runs as a batched
-// campaign — same seeds, bit-identical mean — and the group impact replays
-// below operate on per-group subsequences, not the full trace, so the
-// compilation is only consulted here.
+// model (nil compiles one here). The baseline replays the compilation
+// per seed — same seeds as a campaign rooted at cfg.Seed, bit-identical
+// mean — and the default enumeration additionally reuses the
+// compilation's per-side dense line-ID projection for its posting-list
+// index; the group impact replays operate on per-group postings, never
+// the full trace.
 func AnalyzeCompiled(tr trace.Trace, ct *proc.CompiledTrace, model proc.Model, cfg Config) (*Analysis, error) {
 	if cfg.MissProb <= 0 || cfg.MissProb >= 1 {
 		return nil, fmt.Errorf("tac: MissProb %v out of (0,1)", cfg.MissProb)
@@ -151,27 +169,57 @@ func AnalyzeCompiled(tr trace.Trace, ct *proc.CompiledTrace, model proc.Model, c
 
 	// Baseline mean execution time over a handful of random layouts. The
 	// seeds are rng.Stream(cfg.Seed, 0..BaselineSeeds-1), i.e. exactly a
-	// BaselineSeeds-run campaign rooted at cfg.Seed.
+	// BaselineSeeds-run campaign rooted at cfg.Seed. The compilation is
+	// built here when the caller doesn't share one: the baseline campaign
+	// replays it, and the indexed enumeration reuses its per-side dense
+	// line-ID projection instead of re-projecting the trace.
 	eng := proc.NewEngine(model)
-	if ct != nil {
-		eng.SetCompiled(ct, tr)
+	if ct == nil {
+		ct = proc.Compile(tr, model)
 	}
+	eng.SetCompiled(ct, tr)
+	// Per-seed compiled runs rather than Engine.Campaign: run i of a
+	// campaign rooted at cfg.Seed is exactly RunCompiled with seed
+	// rng.Stream(cfg.Seed, i) (proc's batch oracle tests pin this), and the
+	// per-seed path skips the batch engine's block-sized scratch for what
+	// is only a handful of runs.
 	var sum float64
-	for _, t := range eng.Campaign(tr, cfg.BaselineSeeds, cfg.Seed) {
-		sum += t
+	for i := 0; i < cfg.BaselineSeeds; i++ {
+		sum += float64(eng.RunCompiled(ct, rng.Stream(cfg.Seed, i)))
 	}
 	a.BaselineMean = sum / float64(cfg.BaselineSeeds)
 	missCost := float64(model.Lat.Miss - model.Lat.Hit)
 
+	// The indexed enumeration packs hot-line indices into uint16 work lists;
+	// configurations beyond that (absurd for TAC's combinatorial candidate
+	// space) fall back to the reference arm.
+	reference := cfg.ReferenceEnumeration || cfg.HotLines > math.MaxUint16
+
+	var idScratch []int32
 	for _, side := range []struct {
 		kind trace.Kind
 		cfgC cache.Config
 	}{{trace.Instr, model.IL1}, {trace.Data, model.DL1}} {
-		seq := lineSeq(tr, side.kind, side.cfgC.LineBytes)
-		if len(seq) == 0 {
-			continue
+		// The event-driven pinned replay tracks out-of-set lines in a
+		// 64-bit mask; wider groups (absurd geometry) take the reference
+		// arm too.
+		useRef := reference ||
+			(side.cfgC.Ways+1+cfg.MaxExtraWays > 64 && cfg.HotLines > 64)
+		var groups []Group
+		if useRef {
+			seq := lineSeq(tr, side.kind, side.cfgC.LineBytes)
+			if len(seq) == 0 {
+				continue
+			}
+			groups = analyzeCacheReference(seq, side.kind, side.cfgC, cfg, missCost, a.BaselineMean)
+		} else {
+			idScratch = ct.SideIDs(side.kind, idScratch[:0])
+			if len(idScratch) == 0 {
+				continue
+			}
+			groups = analyzeCacheIndexed(idScratch, ct.SideLines(side.kind),
+				side.kind, side.cfgC, cfg, missCost, a.BaselineMean)
 		}
-		groups := analyzeCache(seq, side.kind, side.cfgC, cfg, missCost, a.BaselineMean)
 		a.Groups = append(a.Groups, groups...)
 	}
 
@@ -185,9 +233,19 @@ func AnalyzeCompiled(tr trace.Trace, ct *proc.CompiledTrace, model proc.Model, c
 	return a, nil
 }
 
-// lineSeq projects tr onto the line addresses of one cache.
+// lineSeq projects tr onto the line addresses of one cache, sized exactly
+// by a counting pre-pass (no append regrowth).
 func lineSeq(tr trace.Trace, k trace.Kind, lineBytes int) []uint64 {
-	var seq []uint64
+	n := 0
+	for i := range tr {
+		if tr[i].Kind == k {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	seq := make([]uint64, 0, n)
 	for _, acc := range tr {
 		if acc.Kind == k {
 			seq = append(seq, acc.Addr/uint64(lineBytes))
@@ -196,8 +254,11 @@ func lineSeq(tr trace.Trace, k trace.Kind, lineBytes int) []uint64 {
 	return seq
 }
 
-// analyzeCache enumerates and evaluates conflict groups for one cache.
-func analyzeCache(seq []uint64, kind trace.Kind, cfgC cache.Config, cfg Config,
+// analyzeCacheReference enumerates and evaluates conflict groups for one
+// cache by scanning the full line sequence once per candidate — the
+// original TAC arm, kept behind Config.ReferenceEnumeration as the
+// equivalence oracle for the indexed enumeration (enum.go).
+func analyzeCacheReference(seq []uint64, kind trace.Kind, cfgC cache.Config, cfg Config,
 	missCost, baselineMean float64) []Group {
 
 	counts := make(map[uint64]int)
@@ -382,6 +443,11 @@ func classify(groups []Group, cfg Config) []Class {
 			p += groups[j].Prob
 			n++
 			j++
+		}
+		if j == i {
+			// A NaN impact (degenerate zero-seed configs) matches not even
+			// its own cutoff; skip the group rather than stall.
+			j = i + 1
 		}
 		if p >= cfg.ProbFloor {
 			classes = append(classes, Class{

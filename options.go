@@ -84,8 +84,21 @@ func WithSeed(seed uint64) Option {
 // WithProgress installs a campaign progress sink. Events arrive serialized
 // (one call at a time) but from analysis goroutines, not the caller's;
 // the callback must not block for long, or it stalls the campaigns.
+// Besides campaign growth, the sink receives "warning" events (for example
+// an i.i.d. admissibility failure at convergence), with the detail in
+// ProgressEvent.Note.
 func WithProgress(fn func(ProgressEvent)) Option {
 	return func(s *sessionSettings) { s.progress = fn }
+}
+
+// WithReferenceEnumeration keeps TAC's original full-sequence-scan group
+// enumeration instead of the posting-list enumeration with its
+// reuse-distance prefilter and parallel group evaluation. Results are
+// bit-identical either way; the reference arm exists as the equivalence
+// oracle (mirroring the simulation engine's and the i.i.d. battery's
+// reference modes) and as a hedge while the indexed path is new.
+func WithReferenceEnumeration(on bool) Option {
+	return func(s *sessionSettings) { s.cfg.TAC.ReferenceEnumeration = on }
 }
 
 // defaultSettings returns the paper's evaluation setup at full scale.

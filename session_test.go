@@ -303,3 +303,59 @@ func TestSessionMultiPathMinimum(t *testing.T) {
 		t.Fatalf("MultiResult PWCET = %v, want min %v", m.PWCET(p), min)
 	}
 }
+
+func TestSessionReferenceEnumeration(t *testing.T) {
+	// WithReferenceEnumeration must reach the TAC config, and the two
+	// enumeration arms must agree bit for bit through the public API.
+	bench, err := pubtac.Benchmark("bs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := pubtac.NewSession(pubtac.WithConfig(sessionTestConfig()),
+		pubtac.WithReferenceEnumeration(true))
+	if !ref.Config().TAC.ReferenceEnumeration {
+		t.Fatal("WithReferenceEnumeration not applied")
+	}
+	fast := pubtac.NewSession(pubtac.WithConfig(sessionTestConfig()))
+	rRef, err := ref.AnalyzePath(context.Background(), bench.Program, bench.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rFast, err := fast.AnalyzePath(context.Background(), bench.Program, bench.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rRef.RTac != rFast.RTac || rRef.TACClasses != rFast.TACClasses {
+		t.Fatalf("enumeration arms diverge: RTac %d/%d, classes %d/%d",
+			rRef.RTac, rFast.RTac, rRef.TACClasses, rFast.TACClasses)
+	}
+	if rRef.PWCET(1e-12) != rFast.PWCET(1e-12) {
+		t.Fatalf("pWCET diverged: %v vs %v", rRef.PWCET(1e-12), rFast.PWCET(1e-12))
+	}
+}
+
+func TestSessionIIDWarningDelivery(t *testing.T) {
+	// An absurdly strict alpha forces the convergence battery to fail;
+	// the warning must reach the session's progress sink with its note.
+	bench, err := pubtac.Benchmark("bs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sessionTestConfig()
+	cfg.MBPTA.Alpha = 0.999
+	var warnings []pubtac.ProgressEvent
+	s := pubtac.NewSession(pubtac.WithConfig(cfg), pubtac.WithProgress(func(ev pubtac.ProgressEvent) {
+		if ev.Phase == "warning" {
+			warnings = append(warnings, ev)
+		}
+	}))
+	if _, err := s.AnalyzePath(context.Background(), bench.Program, bench.Default()); err != nil {
+		t.Fatal(err)
+	}
+	if len(warnings) == 0 {
+		t.Fatal("no warning event delivered despite alpha=0.999")
+	}
+	if warnings[0].Note == "" {
+		t.Fatalf("warning without note: %+v", warnings[0])
+	}
+}
