@@ -150,6 +150,7 @@ func parseBenchLine(line string) (Entry, bool) {
 // diffs.
 func emit(cur map[string]Entry, pr int, out string) error {
 	rec := File{PR: pr, Benchmarks: make([]Entry, 0, len(cur))}
+	//pubtac:nondeterministic collection order is erased by the sort-by-name below
 	for _, e := range cur {
 		rec.Benchmarks = append(rec.Benchmarks, e)
 	}
@@ -196,6 +197,7 @@ func compare(cur map[string]Entry, baselinePaths []string, threshold float64) er
 	}
 
 	names := make([]string, 0, len(cur))
+	//pubtac:nondeterministic keys are sorted immediately below
 	for name := range cur {
 		names = append(names, name)
 	}

@@ -1,0 +1,24 @@
+// Command pubtacvet runs the repository's custom go/analysis suite — the
+// determinism and oracle-pairing invariants the compiler cannot see (see
+// internal/lint). It is a unitchecker binary: the go command drives it,
+// package by package, exactly like the bundled vet tool.
+//
+// Usage:
+//
+//	go build -o pubtacvet ./cmd/pubtacvet
+//	go vet -vettool=$(pwd)/pubtacvet ./...
+//
+// Individual analyzers can be selected or tuned through vet's usual flag
+// surface, e.g. -detrand.scope to widen or narrow the result-affecting
+// package set.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"pubtac/internal/lint"
+)
+
+func main() {
+	unitchecker.Main(lint.Analyzers()...)
+}

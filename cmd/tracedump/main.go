@@ -83,10 +83,16 @@ func lineStats(name string, tr trace.Trace, lineBytes int) {
 		n    int
 	}
 	var ls []lc
+	//pubtac:nondeterministic collection order is erased by the total sort below
 	for l, n := range counts {
 		ls = append(ls, lc{l, n})
 	}
-	sort.Slice(ls, func(i, j int) bool { return ls[i].n > ls[j].n })
+	sort.Slice(ls, func(i, j int) bool {
+		if ls[i].n != ls[j].n {
+			return ls[i].n > ls[j].n
+		}
+		return ls[i].line < ls[j].line // tie-break so the hottest-6 cut is stable
+	})
 	fmt.Printf("%s      %d distinct lines; hottest:", name, len(ls))
 	for i, e := range ls {
 		if i == 6 {

@@ -24,6 +24,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -74,6 +75,13 @@ type Config struct {
 	// Progress, when non-nil, receives campaign progress events. It may be
 	// called concurrently from campaign workers and must be cheap.
 	Progress func(ProgressEvent)
+
+	// IIDHardFail promotes an inadmissible i.i.d. battery from a progress
+	// warning to an analysis error wrapping ErrIIDInadmissible. Off by
+	// default: the battery is diagnostic (campaign runs draw independent
+	// seeds), but certification-style workflows may refuse to ship a pWCET
+	// whose sample failed its own admissibility checks.
+	IIDHardFail bool
 }
 
 // DefaultConfig returns the paper's evaluation setup.
@@ -208,7 +216,9 @@ func (a *Analyzer) analyzeOn(ctx context.Context, pubbed *program.Program, name 
 	if err != nil {
 		return nil, fmt.Errorf("core: MBPTA convergence on %s(%s): %w", name, in.Name, err)
 	}
-	a.warnIID(name, in.Name, "convergence", conv.Estimate, conv.Runs)
+	if err := a.checkIID(name, in.Name, "convergence", conv.Estimate, conv.Runs); err != nil {
+		return nil, err
+	}
 
 	pa := &PathAnalysis{
 		Program:   name,
@@ -265,7 +275,9 @@ func (a *Analyzer) analyzeOn(ctx context.Context, pubbed *program.Program, name 
 	// fails where the convergence-time one passed, that deserves its own
 	// warning (a failing convergence battery already warned above).
 	if conv.Estimate.IID.Passed(a.cfg.MBPTA.Alpha) {
-		a.warnIID(name, in.Name, "campaign extension", full, pa.RunsUsed)
+		if err := a.checkIID(name, in.Name, "campaign extension", full, pa.RunsUsed); err != nil {
+			return nil, err
+		}
 	}
 	a.done(name, in.Name, pa.RunsUsed)
 	return pa, nil
@@ -278,7 +290,12 @@ func (a *Analyzer) done(name, input string, runs int) {
 	}
 }
 
-// warnIID surfaces an inadmissible i.i.d. battery through the progress
+// ErrIIDInadmissible reports an i.i.d. battery that failed its
+// admissibility checks under Config.IIDHardFail. Test with errors.Is; the
+// wrapping error carries the program, input, phase and per-test p-values.
+var ErrIIDInadmissible = errors.New("i.i.d. battery inadmissible")
+
+// checkIID surfaces an inadmissible i.i.d. battery through the progress
 // sink — at convergence, and again should the TAC-demanded campaign
 // extension's battery fail after a passing convergence (the shipped pWCET
 // is built on the extended sample). The battery is diagnostic — campaign
@@ -286,23 +303,32 @@ func (a *Analyzer) done(name, input string, runs int) {
 // sheer chance at the configured significance, not a protocol violation —
 // but silently attaching a pWCET to a sample that failed its own
 // admissibility checks is the kind of thing a certification reviewer
-// should see.
-func (a *Analyzer) warnIID(name, input, when string, est *mbpta.Estimate, runs int) {
-	if a.cfg.Progress == nil || est == nil {
-		return
+// should see. Under Config.IIDHardFail the warning is promoted to an
+// error wrapping ErrIIDInadmissible (the progress event still fires, so
+// sinks observe the failure before the analysis aborts).
+func (a *Analyzer) checkIID(name, input, when string, est *mbpta.Estimate, runs int) error {
+	if est == nil {
+		return nil
 	}
 	r := est.IID
 	alpha := a.cfg.MBPTA.Alpha
 	if r.Passed(alpha) {
-		return
+		return nil
 	}
-	a.cfg.Progress(ProgressEvent{
-		Program: name, Input: input, Phase: "warning",
-		Done: runs, Target: runs,
-		Note: fmt.Sprintf(
-			"i.i.d. battery inadmissible at %s (alpha=%.3g: runs p=%.3g, ljung-box p=%.3g, ks p=%.3g)",
-			when, alpha, r.Runs.PValue, r.LjungBox.PValue, r.Identical.PValue),
-	})
+	detail := fmt.Sprintf(
+		"i.i.d. battery inadmissible at %s (alpha=%.3g: runs p=%.3g, ljung-box p=%.3g, ks p=%.3g)",
+		when, alpha, r.Runs.PValue, r.LjungBox.PValue, r.Identical.PValue)
+	if a.cfg.Progress != nil {
+		a.cfg.Progress(ProgressEvent{
+			Program: name, Input: input, Phase: "warning",
+			Done: runs, Target: runs,
+			Note: detail,
+		})
+	}
+	if a.cfg.IIDHardFail {
+		return fmt.Errorf("core: %s(%s): %s: %w", name, input, detail, ErrIIDInadmissible)
+	}
+	return nil
 }
 
 // OriginalAnalysis is plain MBPTA on the unmodified program: the paper's
@@ -343,7 +369,9 @@ func (a *Analyzer) AnalyzeOriginalCtx(ctx context.Context, p *program.Program,
 	if err != nil {
 		return nil, err
 	}
-	a.warnIID(p.Name, in.Name, "convergence", conv.Estimate, conv.Runs)
+	if err := a.checkIID(p.Name, in.Name, "convergence", conv.Estimate, conv.Runs); err != nil {
+		return nil, err
+	}
 	a.done(p.Name, in.Name, conv.Runs)
 	return &OriginalAnalysis{
 		Program:  p.Name,

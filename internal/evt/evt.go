@@ -65,8 +65,8 @@ func FitExpTail(sample []float64, tailCount int) (*ExpTail, error) {
 // FitExpTailSorted is FitExpTail over an already ascending-sorted sample.
 // All candidate tails of a threshold scan share one sort through this
 // entry point (the scan used to pay one copy + sort per candidate).
-func FitExpTailSorted(s []float64, tailCount int) (*ExpTail, error) {
-	n := len(s)
+func FitExpTailSorted(sorted []float64, tailCount int) (*ExpTail, error) {
+	n := len(sorted)
 	if n < 20 || tailCount < 10 {
 		return nil, ErrSampleTooSmall
 	}
@@ -76,12 +76,12 @@ func FitExpTailSorted(s []float64, tailCount int) (*ExpTail, error) {
 			return nil, ErrSampleTooSmall
 		}
 	}
-	u := s[n-tailCount-1] // threshold: leaves exactly tailCount order statistics above
+	u := sorted[n-tailCount-1] // threshold: leaves exactly tailCount order statistics above
 	// Excesses of the top tailCount order statistics over u. Ties with u
 	// contribute zero excess; this keeps the fit defined for degenerate
 	// (low-variability) samples.
 	var sum float64
-	for _, v := range s[n-tailCount:] {
+	for _, v := range sorted[n-tailCount:] {
 		sum += v - u
 	}
 	meanExcess := sum / float64(tailCount)

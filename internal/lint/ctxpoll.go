@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Ctxpoll enforces the Session API's cancellation contract: an exported
+// function that accepts a context.Context promises to stop promptly when it
+// is cancelled, so every loop that could run long — a non-range for loop,
+// or a range over a channel — must either consult the context (ctx.Err,
+// ctx.Done, a select) or hand it to a callee that does. Bounded range loops
+// over slices and maps are exempt; so are _test.go files. Escape with
+// "//pubtac:nopoll <reason>".
+var Ctxpoll = &analysis.Analyzer{
+	Name: "ctxpoll",
+	Doc: "exported context-taking functions must keep their unbounded loops cancellable\n\n" +
+		"Each non-range for loop (and each range over a channel) in such a function must\n" +
+		"reference the context — checking ctx.Err()/ctx.Done() or passing ctx to a callee;\n" +
+		"escape provably short loops with //pubtac:nopoll <reason>.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runCtxpoll,
+}
+
+func runCtxpoll(pass *analysis.Pass) (interface{}, error) {
+	esc := collectEscapes(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if !fd.Name.IsExported() || fd.Body == nil || isTestFile(pass, fd.Pos()) {
+			return
+		}
+		ctxObjs := contextParams(pass, fd)
+		if len(ctxObjs) == 0 {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			var loop ast.Node
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				loop = n
+			case *ast.RangeStmt:
+				// Ranging over a channel is as unbounded as for {}; every
+				// other range is bounded by its operand's current length.
+				if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						loop = n
+					}
+				}
+			}
+			if loop == nil {
+				return true
+			}
+			if usesAny(pass, loop, ctxObjs) || esc.covers("nopoll", loop) {
+				return true
+			}
+			pass.Reportf(loop.Pos(), "loop in exported context-taking function %s never consults its context: check ctx.Err()/ctx.Done() or pass ctx to a callee so cancellation stays block-granular", fd.Name.Name)
+			return true
+		})
+	})
+	return nil, nil
+}
+
+// contextParams returns the declared objects of fd's context.Context
+// parameters.
+func contextParams(pass *analysis.Pass, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	for _, field := range fd.Type.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t == nil || !isContextType(t) {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// usesAny reports whether any identifier under n refers to one of objs.
+func usesAny(pass *analysis.Pass, n ast.Node, objs []types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		use := pass.TypesInfo.Uses[id]
+		if use == nil {
+			return true
+		}
+		for _, obj := range objs {
+			if use == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strconv"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// defaultScope matches the packages whose code can reach a published
+// result: the root package, the analysis pipeline under internal/, and the
+// cmd/ tools that print tables and figures. Everything else (test files,
+// the lint suite itself, examples) may use ambient nondeterminism freely.
+const defaultScope = `^pubtac(/internal/(cache|proc|mbpta|evt|stats|tac|core|pub|experiment|rng|trace|program|malardalen)|/cmd/[^/]+)?$`
+
+// Detrand forbids ambient nondeterminism in result-affecting packages:
+// math/rand and crypto/rand imports, time.Now/time.Since calls, and range
+// over maps. Escape with "//pubtac:nondeterministic <reason>".
+var Detrand = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "forbid ambient randomness, wall-clock reads and map iteration in result-affecting packages\n\n" +
+		"All randomness must derive from the seed-threaded internal/rng generators and all\n" +
+		"iteration whose order can reach a result must be defined; escape deliberate uses\n" +
+		"with //pubtac:nondeterministic <reason>.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runDetrand,
+}
+
+var detrandScope string
+
+func init() {
+	Detrand.Flags.StringVar(&detrandScope, "scope", defaultScope,
+		"regexp of result-affecting package paths the analyzer applies to")
+}
+
+// bannedImports are the ambient randomness sources. internal/rng wraps
+// splitmix64/xoshiro256** seeded from campaign roots; nothing else may draw.
+var bannedImports = map[string]string{
+	"math/rand":    "seed-derived internal/rng",
+	"math/rand/v2": "seed-derived internal/rng",
+	"crypto/rand":  "seed-derived internal/rng",
+}
+
+// bannedCalls are wall-clock reads. Benchmark timing belongs in _test.go
+// files (which are exempt) or behind an escape directive.
+var bannedCalls = map[string]bool{
+	"time.Now":   true,
+	"time.Since": true,
+	"time.Until": true,
+}
+
+func runDetrand(pass *analysis.Pass) (interface{}, error) {
+	scope, err := regexp.Compile(detrandScope)
+	if err != nil {
+		return nil, err
+	}
+	if !scope.MatchString(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	esc := collectEscapes(pass)
+
+	for _, f := range pass.Files {
+		if isTestFile(pass, f.Pos()) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if repl, banned := bannedImports[path]; banned && !esc.covers("nondeterministic", imp) {
+				pass.Reportf(imp.Pos(), "import of %s in result-affecting package: draw from %s instead", path, repl)
+			}
+		}
+	}
+
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	nodeFilter := []ast.Node{(*ast.CallExpr)(nil), (*ast.RangeStmt)(nil)}
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		if isTestFile(pass, n.Pos()) {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn, ok := typeutil.Callee(pass.TypesInfo, n).(*types.Func)
+			if !ok || !bannedCalls[fn.FullName()] {
+				return
+			}
+			if !esc.covers("nondeterministic", n) {
+				pass.Reportf(n.Pos(), "%s in result-affecting package: results must not depend on the wall clock", fn.FullName())
+			}
+		case *ast.RangeStmt:
+			tv := pass.TypesInfo.TypeOf(n.X)
+			if tv == nil {
+				return
+			}
+			if _, isMap := tv.Underlying().(*types.Map); !isMap {
+				return
+			}
+			if !esc.covers("nondeterministic", n) {
+				pass.Reportf(n.Pos(), "range over map in result-affecting package: iteration order is randomized; iterate a sorted key slice or escape with //pubtac:nondeterministic <reason>")
+			}
+		}
+	})
+	return nil, nil
+}

@@ -1,0 +1,237 @@
+// Package linttest runs pubtacvet analyzers over testdata packages and
+// compares their diagnostics against analysistest-style "// want" comment
+// expectations. It is a minimal stand-in for
+// golang.org/x/tools/go/analysis/analysistest, which depends on go/packages
+// and is not part of the toolchain's vendored x/tools subset this module
+// builds against; the expectation syntax is the same, so tests port
+// verbatim if the full dependency ever lands.
+//
+// Layout follows analysistest: Run(t, dir, a, "path") loads the package in
+// dir/src/path (every *.go file, _test.go included — the oraclepair
+// analyzer's test-mention rule needs them), type-checks it with a source
+// importer (testdata packages may import each other and the standard
+// library), runs the analyzer, and requires an exact match between reported
+// diagnostics and the want expectations on their lines.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run analyzes the package at dir/src/pkgpath with a and reports
+// expectation mismatches as test errors, analysistest-style.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	ld := &loader{fset: token.NewFileSet(), dir: dir, pkgs: make(map[string]*loaded)}
+	lp, err := ld.load(pkgpath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkgpath, err)
+	}
+	diags, err := runAnalyzer(a, ld.fset, lp)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkgpath, err)
+	}
+	checkExpectations(t, ld.fset, lp.files, diags)
+}
+
+// loaded is one type-checked testdata package.
+type loaded struct {
+	pkg   *types.Package
+	info  *types.Info
+	files []*ast.File
+}
+
+// loader parses and type-checks testdata packages, resolving imports of
+// sibling testdata packages recursively and everything else through the
+// toolchain's source importer.
+type loader struct {
+	fset *token.FileSet
+	dir  string
+	pkgs map[string]*loaded
+	std  types.Importer
+}
+
+func (ld *loader) load(path string) (*loaded, error) {
+	if lp, ok := ld.pkgs[path]; ok {
+		return lp, nil
+	}
+	srcDir := filepath.Join(ld.dir, "src", filepath.FromSlash(path))
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(srcDir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", srcDir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	cfg := &types.Config{Importer: importerFunc(ld.importPkg)}
+	pkg, err := cfg.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	lp := &loaded{pkg: pkg, info: info, files: files}
+	ld.pkgs[path] = lp
+	return lp, nil
+}
+
+func (ld *loader) importPkg(path string) (*types.Package, error) {
+	if _, err := os.Stat(filepath.Join(ld.dir, "src", filepath.FromSlash(path))); err == nil {
+		lp, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.pkg, nil
+	}
+	if ld.std == nil {
+		ld.std = importer.ForCompiler(ld.fset, "source", nil)
+	}
+	return ld.std.Import(path)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// runAnalyzer evaluates a's Requires graph (the suite only depends on the
+// inspect pass) and collects its diagnostics.
+func runAnalyzer(a *analysis.Analyzer, fset *token.FileSet, lp *loaded) ([]analysis.Diagnostic, error) {
+	results := make(map[*analysis.Analyzer]interface{})
+	var diags []analysis.Diagnostic
+	var run func(a *analysis.Analyzer, record bool) error
+	run = func(a *analysis.Analyzer, record bool) error {
+		if _, done := results[a]; done {
+			return nil
+		}
+		for _, req := range a.Requires {
+			if err := run(req, false); err != nil {
+				return err
+			}
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      lp.files,
+			Pkg:        lp.pkg,
+			TypesInfo:  lp.info,
+			TypesSizes: types.SizesFor("gc", "amd64"),
+			ResultOf:   results,
+			Report: func(d analysis.Diagnostic) {
+				if record {
+					diags = append(diags, d)
+				}
+			},
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			return fmt.Errorf("%s: %w", a.Name, err)
+		}
+		results[a] = res
+		return nil
+	}
+	if err := run(a, true); err != nil {
+		return nil, err
+	}
+	return diags, nil
+}
+
+// want is one expectation: a regexp that must match a diagnostic on line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// want expectations accept analysistest's two string forms: double-quoted
+// (with \" escapes) and backquoted.
+var wantRe = regexp.MustCompile("want(\\s+(\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+\\s*$")
+var quotedRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// checkExpectations matches diagnostics against // want comments, erroring
+// on unexpected diagnostics and unmatched expectations.
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindString(c.Text)
+				if m == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range quotedRe.FindAllStringSubmatch(m, -1) {
+					text := q[2] // backquoted form: taken verbatim
+					if q[1] != "" || q[2] == "" {
+						text = unquote(q[1])
+					}
+					re, err := regexp.Compile(text)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, text, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: text})
+				}
+			}
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// unquote interprets the escape sequences of a double-quoted want string
+// (analysistest uses Go string syntax inside the quotes).
+func unquote(s string) string {
+	return strings.NewReplacer(`\"`, `"`, `\\`, `\`).Replace(s)
+}

@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"go/ast"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Poolonly forbids bare go statements outside the worker-pool package.
+// Results are worker-count-invariant because every fan-out is an
+// index-addressed pool dispatch (each worker writes result slot i of work
+// item i, and errors propagate deterministically); a stray goroutine is how
+// that property silently dies. Escape with
+// "//pubtac:nondeterministic <reason>".
+var Poolonly = &analysis.Analyzer{
+	Name: "poolonly",
+	Doc: "forbid bare go statements outside internal/pool\n\n" +
+		"All fan-out must use the index-addressed pool (pool.Group) so that results stay\n" +
+		"worker-count-invariant; escape deliberate goroutines with\n" +
+		"//pubtac:nondeterministic <reason>.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runPoolonly,
+}
+
+var poolPath string
+
+func init() {
+	Poolonly.Flags.StringVar(&poolPath, "pool", "pubtac/internal/pool",
+		"import path of the one package allowed to spawn goroutines")
+}
+
+func runPoolonly(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg.Path() == poolPath {
+		return nil, nil
+	}
+	esc := collectEscapes(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.GoStmt)(nil)}, func(n ast.Node) {
+		if isTestFile(pass, n.Pos()) {
+			return
+		}
+		if !esc.covers("nondeterministic", n) {
+			pass.Reportf(n.Pos(), "bare go statement outside %s: fan out through pool.Group so results stay worker-count-invariant", poolPath)
+		}
+	})
+	return nil, nil
+}

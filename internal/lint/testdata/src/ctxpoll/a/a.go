@@ -1,0 +1,87 @@
+// Package a exercises the ctxpoll analyzer: exported context-taking
+// functions must keep unbounded loops cancellable.
+package a
+
+import "context"
+
+func work(ctx context.Context) {}
+
+// Spin never consults ctx: the canonical violation.
+func Spin(ctx context.Context) {
+	n := 0
+	for { // want `never consults its context`
+		n++
+	}
+}
+
+// Drain ranges over a channel — as unbounded as for {} — without ctx.
+func Drain(ctx context.Context, ch chan int) int {
+	total := 0
+	for v := range ch { // want `never consults its context`
+		total += v
+	}
+	return total
+}
+
+// PollErr checks ctx.Err at block granularity: compliant.
+func PollErr(ctx context.Context, blocks int) error {
+	for i := 0; i < blocks; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delegate hands ctx to a callee each iteration: the callee polls.
+func Delegate(ctx context.Context, blocks int) {
+	for i := 0; i < blocks; i++ {
+		work(ctx)
+	}
+}
+
+// SelectDone waits on ctx.Done in a select: compliant.
+func SelectDone(ctx context.Context, ch chan int) int {
+	for {
+		select {
+		case v := <-ch:
+			return v
+		case <-ctx.Done():
+			return 0
+		}
+	}
+}
+
+// Ranged loops over slices are bounded: exempt.
+func Ranged(ctx context.Context, xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+// Escaped documents why its loop needs no poll.
+func Escaped(ctx context.Context) int {
+	n := 0
+	//pubtac:nopoll bounded by the 64-bit word width
+	for i := 0; i < 64; i++ {
+		n += i
+	}
+	return n
+}
+
+// unexported functions carry no public cancellation promise.
+func spinQuietly(ctx context.Context) {
+	for {
+	}
+}
+
+// NoContext takes no context and promises nothing.
+func NoContext(blocks int) int {
+	n := 0
+	for i := 0; i < blocks; i++ {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,9 @@
+package a
+
+import "context"
+
+// Test files are exempt even for exported context-taking helpers.
+func SpinForTest(ctx context.Context) {
+	for {
+	}
+}

@@ -1,0 +1,63 @@
+// Package a exercises the detrand analyzer: ambient randomness,
+// wall-clock reads and map iteration in a result-affecting package.
+package a
+
+import (
+	crand "crypto/rand" // want `import of crypto/rand in result-affecting package`
+	"math/rand"         // want `import of math/rand in result-affecting package`
+	"time"
+)
+
+//pubtac:nondeterministic jitter source for a deliberately randomized demo
+import _ "math/rand/v2"
+
+func ambient() int {
+	return rand.Int() // the import is the finding; calls ride on it
+}
+
+func fillEntropy(b []byte) {
+	crand.Read(b)
+}
+
+func wallClock() time.Time {
+	return time.Now() // want `time.Now in result-affecting package`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since in result-affecting package`
+}
+
+func escapedClock() time.Time {
+	//pubtac:nondeterministic progress heartbeat only, never reaches a result
+	return time.Now()
+}
+
+func bareEscape() time.Time {
+	//pubtac:nondeterministic
+	return time.Now() // want `needs a reason argument`
+}
+
+func mapOrder(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over map in result-affecting package`
+		total += v
+	}
+	return total
+}
+
+func mapOrderEscaped(m map[string]int) int {
+	total := 0
+	//pubtac:nondeterministic summation is order-insensitive
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func sliceOrder(xs []int) int {
+	total := 0
+	for _, v := range xs { // slices have defined order: no finding
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,16 @@
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Test files are exempt: benchmark timing and test-fixture randomness are
+// fine as long as they stay out of result-affecting code.
+func testOnlyClock() time.Duration {
+	t0 := time.Now()
+	_ = rand.Int()
+	for range map[int]int{1: 1} {
+	}
+	return time.Since(t0)
+}

@@ -1,0 +1,16 @@
+// Package outside is not matched by the scope flag: ambient
+// nondeterminism here is fine and must produce no findings.
+package outside
+
+import (
+	"math/rand"
+	"time"
+)
+
+func anythingGoes(m map[string]int) (int, time.Time) {
+	total := rand.Int()
+	for _, v := range m {
+		total += v
+	}
+	return total, time.Now()
+}

@@ -1,0 +1,38 @@
+// Package bad exercises the oraclepair analyzer's failure cases.
+package bad
+
+// Orphan has no reference oracle anywhere in the package.
+//
+//pubtac:fastpath orphan
+func Orphan() int { return 0 } // want `fastpath "orphan" \(Orphan\) has no matching`
+
+// Untested and its reference exist, but no test file mentions both.
+//
+//pubtac:fastpath untested
+func Untested() int { return 1 } // want `no test file mentioning both Untested and UntestedRef`
+
+// UntestedRef is the reference arm of Untested.
+//
+//pubtac:reference untested
+func UntestedRef() int { return 1 }
+
+// Nameless forgot the pair name.
+//
+//pubtac:fastpath
+func Nameless() int { return 2 } // want `needs a pair name argument`
+
+// Selfish marks itself as both arms.
+//
+//pubtac:fastpath selfish
+//pubtac:reference selfish
+func Selfish() int { return 3 } // want `marks the same declaration Selfish`
+
+// DupA and DupB fight over one fastpath name.
+//
+//pubtac:fastpath dup
+func DupA() int { return 4 } // want `fastpath "dup" \(DupA\) has no matching`
+
+// DupB duplicates DupA's mark.
+//
+//pubtac:fastpath dup
+func DupB() int { return 5 } // want `duplicate //pubtac:fastpath "dup"`

@@ -1,0 +1,7 @@
+package bad
+
+// This test mentions Untested but never its reference arm, so the pair
+// fails the test-mention rule.
+func halfCovered() int {
+	return Untested()
+}

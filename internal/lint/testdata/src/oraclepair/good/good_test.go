@@ -1,0 +1,14 @@
+package good
+
+// The equivalence tests name both arms of each pair: FastReplay vs
+// SlowReplay, and Accumulator vs OneShot.
+func equivalence(xs []int) bool {
+	if FastReplay(xs) != SlowReplay(xs) {
+		return false
+	}
+	acc := Accumulator{}
+	for _, v := range xs {
+		acc.sum += v
+	}
+	return acc.sum == OneShot(xs)
+}

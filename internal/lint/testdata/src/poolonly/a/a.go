@@ -1,0 +1,24 @@
+// Package a exercises the poolonly analyzer: fan-out outside the pool
+// package must go through pool.Group.
+package a
+
+import "poolonly/pool"
+
+func bare() {
+	go func() {}() // want `bare go statement outside poolonly/pool`
+}
+
+func escaped(stop chan struct{}) {
+	//pubtac:nondeterministic signal-watcher goroutine, no result flows out
+	go func() { <-stop }()
+}
+
+// pooled is the false-positive case: handing a closure to the pool spawns
+// a goroutine, but the go statement lives in the pool package.
+func pooled(work []func() error) error {
+	var g pool.Group
+	for _, w := range work {
+		g.Go(w)
+	}
+	return g.Wait()
+}

@@ -1,0 +1,7 @@
+package a
+
+// Test files are exempt: cancellation and race tests spawn goroutines
+// directly.
+func testOnlyGoroutine(done chan struct{}) {
+	go func() { close(done) }()
+}

@@ -1,0 +1,92 @@
+// Package a exercises the sortedview analyzer: arguments at *sorted*
+// parameter positions must be traceable to a sorted source.
+package a
+
+import "sort"
+
+// SortedCopy returns an ascending-sorted copy (a producer).
+func SortedCopy(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	sort.Float64s(out)
+	return out
+}
+
+// MergeSorted merges two ascending-sorted views (producer and consumer:
+// its own parameters carry the precondition).
+func MergeSorted(sortedA, sortedB []float64) []float64 {
+	out := make([]float64, 0, len(sortedA)+len(sortedB))
+	i, j := 0, 0
+	for i < len(sortedA) && j < len(sortedB) {
+		if sortedA[i] <= sortedB[j] {
+			out = append(out, sortedA[i])
+			i++
+		} else {
+			out = append(out, sortedB[j])
+			j++
+		}
+	}
+	out = append(out, sortedA[i:]...)
+	return append(out, sortedB[j:]...)
+}
+
+// FitTail consumes an ascending-sorted view.
+func FitTail(sorted []float64, tail int) float64 {
+	return sorted[len(sorted)-tail]
+}
+
+// Conv mimics mbpta.Convergence: Sorted is sorted by construction.
+type Conv struct {
+	Sorted []float64
+}
+
+// dist mimics stats.ECDF: an unexported field named sorted carries the
+// invariant the same way a named parameter does.
+type dist struct {
+	sorted []float64
+}
+
+func good(xs []float64) float64 {
+	s := SortedCopy(xs)
+	total := FitTail(s, 1)              // local assigned from a producer
+	total += FitTail(SortedCopy(xs), 1) // direct producer call
+	total += FitTail(s[1:], 1)          // reslice of a sorted view
+	var c Conv
+	c.Sorted = s
+	total += FitTail(c.Sorted, 1) // .Sorted field
+	m := MergeSorted(s, SortedCopy(xs))
+	total += FitTail(m, 1) // merge of sorted views
+	var d dist
+	d.sorted = s
+	total += FitTail(d.sorted, 1)              // lowercase sorted field
+	total += FitTail([]float64{1, 2, 2, 5}, 1) // ascending constant literal
+	total += FitTail(MergeSorted(nil, s), 1)   // nil slice: trivially sorted
+	sort.Float64s(xs)
+	return total + FitTail(xs, 1) // sorted in place above
+}
+
+// forward holds a *sorted* parameter: the obligation moves to its callers.
+func forward(sortedView []float64) float64 {
+	return FitTail(sortedView, 1)
+}
+
+func bad(xs []float64) float64 {
+	total := FitTail(xs, 1) // want `must be an ascending-sorted view`
+	ys := append([]float64(nil), xs...)
+	total += FitTail(ys, 1) // want `must be an ascending-sorted view`
+	s := SortedCopy(xs)
+	s = xs                                            // reassigned to run order: taints every use
+	total += FitTail(s, 1)                            // want `must be an ascending-sorted view`
+	total += FitTail([]float64{3, 1, 2}, 1)           // want `must be an ascending-sorted view`
+	return total + MergeSorted(SortedCopy(xs), xs)[0] // want `must be an ascending-sorted view`
+}
+
+// notSortedName shows the precondition is carried by the parameter name:
+// plain views are not checked against FitTail's contract at this level.
+func notSortedName(view []float64) float64 {
+	return FitTail(view, 1) // want `must be an ascending-sorted view`
+}
+
+func escaped(xs []float64) float64 {
+	//pubtac:sorted xs arrives sorted from the fixture generator
+	return FitTail(xs, 1)
+}

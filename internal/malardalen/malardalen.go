@@ -89,6 +89,7 @@ func Get(name string) (*Benchmark, error) {
 	b, ok := builders[name]
 	if !ok {
 		names := make([]string, 0, len(builders))
+		//pubtac:nondeterministic names are sorted before they reach the error message
 		for n := range builders {
 			names = append(names, n)
 		}

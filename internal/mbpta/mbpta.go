@@ -18,10 +18,10 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"pubtac/internal/evt"
+	"pubtac/internal/pool"
 	"pubtac/internal/proc"
 	"pubtac/internal/rng"
 	"pubtac/internal/stats"
@@ -161,7 +161,7 @@ func (c *Campaign) collectInto(ctx context.Context, dst []float64, root uint64,
 	}
 	var next, done atomic.Int64
 	done.Store(int64(offset))
-	body := func(eng *proc.Engine) error {
+	body := func(ctx context.Context, eng *proc.Engine) error {
 		for {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -181,24 +181,18 @@ func (c *Campaign) collectInto(ctx context.Context, dst []float64, root uint64,
 		}
 	}
 	if workers == 1 {
-		return body(c.newEngine())
+		return body(ctx, c.newEngine())
 	}
-	var wg sync.WaitGroup
-	errs := make([]error, workers)
+	// Workers share the atomic block cursor, so dst slots are filled by
+	// index regardless of which worker claims which block: results stay
+	// bit-identical at any worker count. The group only coordinates
+	// lifetime and propagates the first (ctx-derived) error.
+	g, gctx := pool.WithContext(ctx)
+	g.SetLimit(workers)
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			errs[w] = body(c.newEngine())
-		}(w)
+		g.Go(func() error { return body(gctx, c.newEngine()) })
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return g.Wait()
 }
 
 // Estimate is a fitted pWCET model plus its diagnostics.

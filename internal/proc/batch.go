@@ -78,6 +78,8 @@ type batchState struct {
 // (restoreCt/restoreSeed) and executed by materialize only if an accessor
 // actually observes the engine's post-campaign cache state — campaign
 // drivers never do, so back-to-back blocks pay nothing for state fidelity.
+//
+//pubtac:fastpath campaign
 func (e *Engine) CampaignBatchInto(tr trace.Trace, dst []float64, root uint64, offset int) {
 	n := len(dst)
 	if n == 0 {

@@ -310,6 +310,8 @@ func (e *Engine) materialize() {
 }
 
 // replayCompiled replays ct against the freshly reseeded caches.
+//
+//pubtac:fastpath replay
 func (e *Engine) replayCompiled(ct *CompiledTrace) uint64 {
 	e.ils.prepare(&ct.il1, e.il1)
 	e.dls.prepare(&ct.dl1, e.dl1)

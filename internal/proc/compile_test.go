@@ -40,7 +40,9 @@ func policyCombos() []Model {
 }
 
 // assertRunsMatch runs seeds through a compiled and a reference engine and
-// compares cycles and per-cache miss counts exactly.
+// compares cycles and per-cache miss counts exactly: the equivalence test
+// for the replay oracle pair, driving replayCompiled against Replay through
+// the UseReference switch.
 func assertRunsMatch(t *testing.T, label string, m Model, tr trace.Trace,
 	setup func(e *Engine), seeds int) {
 	t.Helper()

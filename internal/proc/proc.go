@@ -159,6 +159,8 @@ func (e *Engine) Run(tr trace.Trace, seed uint64) uint64 {
 
 // Replay replays tr against the current cache state without reseeding or
 // flushing, accumulating cycles. Use Run for whole-program measurements.
+//
+//pubtac:reference replay
 func (e *Engine) Replay(tr trace.Trace) uint64 {
 	e.materialize()
 	lat := e.model.Lat
@@ -208,6 +210,8 @@ func (e *Engine) Campaign(tr trace.Trace, n int, root uint64) []float64 {
 // (see batch.go): BatchK seeds share each pass over the compiled stream.
 // Results are bit-identical to a loop of per-seed Runs, and the engine's
 // cache state afterwards reflects the campaign's last run either way.
+//
+//pubtac:reference campaign
 func (e *Engine) CampaignInto(tr trace.Trace, dst []float64, root uint64, offset int) {
 	if e.reference {
 		for i := range dst {

@@ -124,9 +124,11 @@ type Input struct {
 // state materializes the input as a fresh State.
 func (in Input) state() *State {
 	s := NewState()
+	//pubtac:nondeterministic map-to-map transfer; State lookup is by key, order never observed
 	for k, v := range in.Ints {
 		s.SetInt(k, v)
 	}
+	//pubtac:nondeterministic map-to-map transfer; State lookup is by key, order never observed
 	for k, v := range in.Arrays {
 		s.SetArr(k, append([]int64(nil), v...))
 	}

@@ -24,6 +24,8 @@ const iidMaxLags = 20
 //
 // The zero value is an empty battery ready for use. An IIDState is not safe
 // for concurrent use.
+//
+//pubtac:fastpath iid
 type IIDState struct {
 	series []float64 // the run-ordered sample, appended on Push
 

@@ -138,20 +138,20 @@ func SortedCopy(xs []float64) []float64 {
 // MergeSorted merges two ascending-sorted slices into a new ascending
 // slice. Growing campaigns use it to maintain a sorted view across
 // convergence rounds in O(n + inc) instead of re-sorting the whole sample.
-func MergeSorted(a, b []float64) []float64 {
-	out := make([]float64, 0, len(a)+len(b))
+func MergeSorted(sortedA, sortedB []float64) []float64 {
+	out := make([]float64, 0, len(sortedA)+len(sortedB))
 	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		if a[i] <= b[j] {
-			out = append(out, a[i])
+	for i < len(sortedA) && j < len(sortedB) {
+		if sortedA[i] <= sortedB[j] {
+			out = append(out, sortedA[i])
 			i++
 		} else {
-			out = append(out, b[j])
+			out = append(out, sortedB[j])
 			j++
 		}
 	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
+	out = append(out, sortedA[i:]...)
+	out = append(out, sortedB[j:]...)
 	return out
 }
 

@@ -146,6 +146,8 @@ type IIDReport struct {
 // for Ljung-Box (or n/4 for short samples). It never panics: degenerate
 // samples (empty, shorter than the tests need, constant) trivially pass
 // every check with PValue 1.
+//
+//pubtac:reference iid
 func CheckIID(xs []float64) IIDReport {
 	return IIDReport{
 		Runs:      RunsTest(xs),

@@ -37,6 +37,8 @@ const minParallelGroups = 16
 // projection (CompiledTrace.SideIDs/SideLines). It mirrors
 // analyzeCacheReference decision for decision; see the file comment for
 // why results are bit-identical.
+//
+//pubtac:fastpath tac-enum
 func analyzeCacheIndexed(ids []int32, lines []uint64, kind trace.Kind, cfgC cache.Config, cfg Config,
 	missCost, baselineMean float64) []Group {
 

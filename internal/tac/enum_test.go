@@ -131,10 +131,11 @@ func sameAnalysis(t *testing.T, want, got *Analysis) {
 }
 
 // TestIndexedMatchesReference is the bit-identity oracle of the PR 5
-// enumeration overhaul: the posting-list + prefilter arm must reproduce
-// the reference arm exactly across all four policy combinations, both
-// MaxExtraWays settings, several HotLines budgets and the adversarial
-// traces.
+// enumeration overhaul: the posting-list + prefilter arm
+// (analyzeCacheIndexed) must reproduce the reference arm
+// (analyzeCacheReference, behind Config.ReferenceEnumeration) exactly
+// across all four policy combinations, both MaxExtraWays settings, several
+// HotLines budgets and the adversarial traces.
 func TestIndexedMatchesReference(t *testing.T) {
 	for _, geom := range []struct{ sets, ways int }{{8, 4}, {64, 2}} {
 		for _, pm := range policyModels(geom.sets, geom.ways) {

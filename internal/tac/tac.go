@@ -258,6 +258,8 @@ func lineSeq(tr trace.Trace, k trace.Kind, lineBytes int) []uint64 {
 // cache by scanning the full line sequence once per candidate — the
 // original TAC arm, kept behind Config.ReferenceEnumeration as the
 // equivalence oracle for the indexed enumeration (enum.go).
+//
+//pubtac:reference tac-enum
 func analyzeCacheReference(seq []uint64, kind trace.Kind, cfgC cache.Config, cfg Config,
 	missCost, baselineMean float64) []Group {
 
@@ -301,6 +303,7 @@ func analyzeCacheReference(seq []uint64, kind trace.Kind, cfgC cache.Config, cfg
 // single access misses anyway; no layout changes that).
 func hotLines(counts map[uint64]int, n int) []uint64 {
 	lines := make([]uint64, 0, len(counts))
+	//pubtac:nondeterministic collection order is erased by the total sort below
 	for l, c := range counts {
 		if c >= 2 {
 			lines = append(lines, l)
@@ -361,6 +364,7 @@ func baselineLineMisses(seq []uint64, cfgC cache.Config, cfg Config) map[uint64]
 			}
 		}
 	}
+	//pubtac:nondeterministic per-key in-place scaling; no cross-key dependence
 	for l := range sums {
 		sums[l] /= float64(cfg.BaselineSeeds)
 	}

@@ -159,6 +159,7 @@ func (t Trace) UniqueAddrs() []uint64 {
 		seen[a.Addr] = true
 	}
 	out := make([]uint64, 0, len(seen))
+	//pubtac:nondeterministic addresses are sorted ascending immediately below
 	for a := range seen {
 		out = append(out, a)
 	}

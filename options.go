@@ -101,6 +101,18 @@ func WithReferenceEnumeration(on bool) Option {
 	return func(s *sessionSettings) { s.cfg.TAC.ReferenceEnumeration = on }
 }
 
+// WithIIDHardFail promotes the i.i.d. admissibility warning to a hard
+// failure: analyses whose sample fails the battery (runs, Ljung-Box,
+// Kolmogorov-Smirnov at the configured Alpha) return an error wrapping
+// ErrIIDInadmissible instead of shipping the pWCET. A WithProgress sink
+// still receives the "warning" event before the analysis aborts. Off by
+// default — the battery is diagnostic, and campaign runs draw independent
+// seeds — but certification-style workflows can refuse inadmissible
+// estimates outright.
+func WithIIDHardFail(on bool) Option {
+	return func(s *sessionSettings) { s.cfg.IIDHardFail = on }
+}
+
 // defaultSettings returns the paper's evaluation setup at full scale.
 func defaultSettings() *sessionSettings {
 	return &sessionSettings{cfg: core.DefaultConfig(), scale: 1.0}

@@ -64,6 +64,11 @@ type OriginalAnalysis = core.OriginalAnalysis
 // (Corollary 2: the minimum across paths is taken).
 type MultiPathAnalysis = core.MultiPathAnalysis
 
+// ErrIIDInadmissible is returned (wrapped) by analyses run under
+// WithIIDHardFail when a sample fails its i.i.d. admissibility battery.
+// Test with errors.Is.
+var ErrIIDInadmissible = core.ErrIIDInadmissible
+
 // Program is the multipath program intermediate representation.
 type Program = program.Program
 

@@ -359,3 +359,54 @@ func TestSessionIIDWarningDelivery(t *testing.T) {
 		t.Fatalf("warning without note: %+v", warnings[0])
 	}
 }
+
+// TestSessionIIDHardFail: WithIIDHardFail promotes the alpha=0.999
+// admissibility warning exercised above into a hard failure wrapping
+// ErrIIDInadmissible — and the progress sink still sees the warning
+// event before the analysis aborts.
+func TestSessionIIDHardFail(t *testing.T) {
+	bench, err := pubtac.Benchmark("bs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sessionTestConfig()
+	cfg.MBPTA.Alpha = 0.999 // no finite random sample clears this bar
+	var warnings int
+	s := pubtac.NewSession(
+		pubtac.WithConfig(cfg),
+		pubtac.WithIIDHardFail(true),
+		pubtac.WithProgress(func(ev pubtac.ProgressEvent) {
+			if ev.Phase == "warning" {
+				warnings++
+			}
+		}),
+	)
+	if !s.Config().IIDHardFail {
+		t.Fatal("WithIIDHardFail(true) not reflected in Config()")
+	}
+	_, err = s.AnalyzePath(context.Background(), bench.Program, bench.Default())
+	if !errors.Is(err, pubtac.ErrIIDInadmissible) {
+		t.Fatalf("AnalyzePath error = %v, want ErrIIDInadmissible", err)
+	}
+	if warnings == 0 {
+		t.Error("hard failure delivered no warning event first")
+	}
+
+	// AnalyzeOriginal takes the same gate. bs's original sample is nearly
+	// constant (its battery trivially passes at any alpha), so gate a
+	// benchmark whose original timing actually varies.
+	mm, err := pubtac.Benchmark("matmult")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AnalyzeOriginal(context.Background(), mm.Program, mm.Default()); !errors.Is(err, pubtac.ErrIIDInadmissible) {
+		t.Fatalf("AnalyzeOriginal error = %v, want ErrIIDInadmissible", err)
+	}
+
+	// At the default significance the same session setup ships normally:
+	// the option only bites when the battery actually fails.
+	ok := pubtac.NewSession(pubtac.WithConfig(sessionTestConfig()), pubtac.WithIIDHardFail(true))
+	if _, err := ok.AnalyzePath(context.Background(), bench.Program, bench.Default()); err != nil {
+		t.Fatalf("hard-fail session at default alpha: %v", err)
+	}
+}
