@@ -148,6 +148,8 @@ func BenchmarkPUBTransform(b *testing.B) {
 }
 
 // BenchmarkTACAnalyze measures TAC on the pubbed bs trace.
+//
+//pubtac:bench
 func BenchmarkTACAnalyze(b *testing.B) {
 	bm := malardalen.BS()
 	pubbed, _, err := pub.Transform(bm.Program)
@@ -172,6 +174,8 @@ func BenchmarkTACAnalyze(b *testing.B) {
 // configuration sat behind a combinatorial cliff (a full-trace scan and a
 // per-seed pinned replay for every candidate); it is now gated in CI as its
 // own baseline.
+//
+//pubtac:bench
 func BenchmarkTACAnalyzeWide(b *testing.B) {
 	bm := malardalen.BS()
 	pubbed, _, err := pub.Transform(bm.Program)
@@ -192,6 +196,8 @@ func BenchmarkTACAnalyzeWide(b *testing.B) {
 }
 
 // BenchmarkCampaign1k measures a 1000-run campaign of the pubbed bs path.
+//
+//pubtac:bench
 func BenchmarkCampaign1k(b *testing.B) {
 	bm := malardalen.BS()
 	pubbed, _, err := pub.Transform(bm.Program)
@@ -208,6 +214,8 @@ func BenchmarkCampaign1k(b *testing.B) {
 
 // BenchmarkExecTrace measures raw trace generation for the largest
 // benchmark (matmult).
+//
+//pubtac:bench
 func BenchmarkExecTrace(b *testing.B) {
 	bm := malardalen.MatMult()
 	in := bm.Default()
@@ -224,6 +232,8 @@ func BenchmarkExecTrace(b *testing.B) {
 // after the batched replay); the incremental arm pushes the increment,
 // merges the sorted view — as the convergence loop already does for the
 // tail fit — and re-reports.
+//
+//pubtac:bench
 func BenchmarkCheckIID(b *testing.B) {
 	const n, inc = 100_000, 1_000
 	gen := rng.New(42)
@@ -267,6 +277,59 @@ func BenchmarkCheckIID(b *testing.B) {
 	})
 }
 
+// BenchmarkConvergeStreaming contrasts the two estimation arms at the
+// convergence loop's steady state: n = 100k accumulated runs, 1k-run
+// increments, a full re-estimate (auto-fit ladder + battery report) per
+// round. The full-sample arm retains and re-walks the whole sample; the
+// streaming arm works from the top-K reservoir, quantile sketch and
+// streaming battery, so its per-round cost and peak memory (reported as
+// peak-B) are functions of the budget, not of n.
+//
+//pubtac:bench
+func BenchmarkConvergeStreaming(b *testing.B) {
+	const n, inc = 100_000, 1_000
+	gen := rng.New(43)
+	xs := make([]float64, 2*n)
+	for i := range xs {
+		// Execution-time-like values: integer cycles on a coarse grid.
+		xs[i] = math.Floor(gen.Float64()*2000) + 40000
+	}
+	cfg := mbpta.DefaultConfig()
+	run := func(b *testing.B, mk func() stats.SampleSummary) {
+		extra := xs[n:]
+		var sum stats.SampleSummary
+		reset := func() {
+			sum = mk()
+			sum.Push(xs[:n])
+			if _, err := mbpta.NewEstimateSummary(sum, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reset()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			j := i % (len(extra) / inc) * inc
+			sum.Push(extra[j : j+inc])
+			if _, err := mbpta.NewEstimateSummary(sum, cfg); err != nil {
+				b.Fatal(err)
+			}
+			if sum.N() >= 2*n {
+				// Keep the round pinned near the nominal sample size.
+				b.StopTimer()
+				reset()
+				b.StartTimer()
+			}
+		}
+		b.ReportMetric(float64(sum.PeakBytes()), "peak-B")
+	}
+	b.Run("full-sample", func(b *testing.B) {
+		run(b, func() stats.SampleSummary { return stats.NewFullSummary(true) })
+	})
+	b.Run("streaming", func(b *testing.B) {
+		run(b, func() stats.SampleSummary { return stats.NewStreamingSummary(mbpta.DefaultStreamBudget) })
+	})
+}
+
 // --- Ablation benchmarks (design decisions in DESIGN.md §5) -----------
 
 // BenchmarkAblationPlacementHash compares the keyed-hash random placement
@@ -296,6 +359,8 @@ func BenchmarkAblationPlacementHash(b *testing.B) {
 // with the Gumbel block-maxima fit on the same campaign, plus the
 // sort-once entry point the convergence loop uses (one shared ascending
 // sort for all candidate tails and CV tests).
+//
+//pubtac:bench
 func BenchmarkAblationTailFit(b *testing.B) {
 	bm := malardalen.CNT()
 	tr := bm.Program.MustExec(bm.Default()).Trace
@@ -357,6 +422,8 @@ func BenchmarkAblationCompiledReplay(b *testing.B) {
 // analytically), a loop of per-seed compiled Runs, and the uncompiled
 // reference engine. All three produce bit-identical times (see
 // internal/proc's batch equivalence tests).
+//
+//pubtac:bench
 func BenchmarkAblationBatchReplay(b *testing.B) {
 	bm := malardalen.BS()
 	pubbed, _, err := pub.Transform(bm.Program)

@@ -20,6 +20,13 @@
 // drift. Benchmarks present in the run but absent from every baseline are
 // reported and skipped; benchmarks only present in baselines are ignored
 // (they may have been renamed or retired).
+//
+// Baselines can carry a runner label (-runner on emit). When -check also
+// names a runner, benchmarks with at least one matching-runner baseline are
+// gated against the best of THOSE at the tighter -runner-threshold
+// (same-hardware comparisons don't need the cross-hardware slack); the
+// generous global gate remains the fallback for benchmarks no same-runner
+// baseline covers yet.
 package main
 
 import (
@@ -38,6 +45,7 @@ import (
 // artifacts have accumulated since PR 1.
 type File struct {
 	PR         int     `json:"pr"`
+	Runner     string  `json:"runner,omitempty"` // hardware label; enables the tighter same-runner gate
 	Benchmarks []Entry `json:"benchmarks"`
 }
 
@@ -54,6 +62,8 @@ func main() {
 		threshold = flag.Float64("threshold", 1.40, "regression factor that fails -check (current > best_baseline * threshold)")
 		pr        = flag.Int("pr", 0, "PR number recorded in the emitted JSON")
 		out       = flag.String("out", "", "output path for the emitted JSON (default stdout)")
+		runner    = flag.String("runner", "", "runner label: recorded on emit; on -check, gates against matching-runner baselines at -runner-threshold where they exist")
+		runnerThr = flag.Float64("runner-threshold", 1.25, "regression factor against same-runner baselines (used only with -runner)")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -69,13 +79,13 @@ func main() {
 	}
 
 	if *check {
-		if err := compare(cur, flag.Args()[1:], *threshold); err != nil {
+		if err := compare(cur, flag.Args()[1:], *threshold, *runner, *runnerThr); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := emit(cur, *pr, *out); err != nil {
+	if err := emit(cur, *pr, *runner, *out); err != nil {
 		fatalf("%v", err)
 	}
 }
@@ -148,8 +158,8 @@ func parseBenchLine(line string) (Entry, bool) {
 
 // emit writes the run as a BENCH_N.json record, names sorted for stable
 // diffs.
-func emit(cur map[string]Entry, pr int, out string) error {
-	rec := File{PR: pr, Benchmarks: make([]Entry, 0, len(cur))}
+func emit(cur map[string]Entry, pr int, runner, out string) error {
+	rec := File{PR: pr, Runner: runner, Benchmarks: make([]Entry, 0, len(cur))}
 	//pubtac:nondeterministic collection order is erased by the sort-by-name below
 	for _, e := range cur {
 		rec.Benchmarks = append(rec.Benchmarks, e)
@@ -170,14 +180,18 @@ func emit(cur map[string]Entry, pr int, out string) error {
 }
 
 // compare gates cur against the best (minimum ns/op) value per benchmark
-// across the baseline files. It prints a line per benchmark and returns an
-// error listing the regressions, if any.
-func compare(cur map[string]Entry, baselinePaths []string, threshold float64) error {
+// across the baseline files — preferring same-runner baselines at the
+// tighter runnerThr when runner is set and a matching baseline exists. It
+// prints a line per benchmark and returns an error listing the regressions,
+// if any.
+func compare(cur map[string]Entry, baselinePaths []string, threshold float64, runner string, runnerThr float64) error {
 	if len(baselinePaths) == 0 {
 		return fmt.Errorf("benchjson: -check needs at least one baseline JSON file")
 	}
-	best := make(map[string]float64)  // name -> lowest baseline ns/op
-	source := make(map[string]string) // name -> file providing it
+	best := make(map[string]float64)        // name -> lowest baseline ns/op
+	source := make(map[string]string)       // name -> file providing it
+	bestRunner := make(map[string]float64)  // same, restricted to matching-runner baselines
+	sourceRunner := make(map[string]string) //
 	for _, path := range baselinePaths {
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -192,6 +206,12 @@ func compare(cur map[string]Entry, baselinePaths []string, threshold float64) er
 			if b, ok := best[name]; !ok || e.NsPerOp < b {
 				best[name] = e.NsPerOp
 				source[name] = path
+			}
+			if runner != "" && rec.Runner == runner {
+				if b, ok := bestRunner[name]; !ok || e.NsPerOp < b {
+					bestRunner[name] = e.NsPerOp
+					sourceRunner[name] = path
+				}
 			}
 		}
 	}
@@ -211,16 +231,21 @@ func compare(cur map[string]Entry, baselinePaths []string, threshold float64) er
 			fmt.Printf("%-60s %12.0f ns/op  (new: no baseline, skipped)\n", name, e.NsPerOp)
 			continue
 		}
+		gate, src, kind := threshold, source[name], "best"
+		if br, okr := bestRunner[name]; okr {
+			// Same-hardware history: tighter gate, same-runner best.
+			b, gate, src, kind = br, runnerThr, sourceRunner[name], "runner best"
+		}
 		ratio := e.NsPerOp / b
 		verdict := "ok"
-		if ratio > threshold {
+		if ratio > gate {
 			verdict = "REGRESSION"
 			regressions = append(regressions,
-				fmt.Sprintf("%s: %.0f ns/op vs best baseline %.0f ns/op (%s) = %.2fx > %.2fx",
-					name, e.NsPerOp, b, source[name], ratio, threshold))
+				fmt.Sprintf("%s: %.0f ns/op vs %s %.0f ns/op (%s) = %.2fx > %.2fx",
+					name, e.NsPerOp, kind, b, src, ratio, gate))
 		}
-		fmt.Printf("%-60s %12.0f ns/op  %5.2fx of best (%s)  %s\n",
-			name, e.NsPerOp, ratio, source[name], verdict)
+		fmt.Printf("%-60s %12.0f ns/op  %5.2fx of %s (%s)  %s\n",
+			name, e.NsPerOp, ratio, kind, src, verdict)
 	}
 	if len(regressions) > 0 {
 		return fmt.Errorf("benchjson: %d benchmark regression(s) beyond %.2fx:\n  %s",

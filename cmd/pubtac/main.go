@@ -34,6 +34,8 @@ func main() {
 		batch     = flag.Bool("batch", false, "analyze all 11 benchmarks concurrently (comma-separated names via -bench restrict the set)")
 		workers   = flag.Int("workers", 0, "total simulation workers (0 = GOMAXPROCS)")
 		progress  = flag.Bool("progress", false, "print campaign progress events")
+		stream    = flag.Bool("stream", false, "bounded-memory streaming estimation (top-K reservoir + quantile sketch instead of retained samples)")
+		streamK   = flag.Int("stream-budget", 0, "streaming memory budget K (0 = default 8192); implies -stream")
 		asJSON    = flag.Bool("json", false, "emit results as JSON")
 	)
 	flag.Parse()
@@ -44,6 +46,9 @@ func main() {
 	opts := []pubtac.Option{
 		pubtac.WithScale(*scale),
 		pubtac.WithWorkers(*workers),
+	}
+	if *stream || *streamK > 0 {
+		opts = append(opts, pubtac.WithStreamingEstimation(*streamK))
 	}
 	if *progress {
 		opts = append(opts, pubtac.WithProgress(printProgress))
@@ -169,6 +174,11 @@ func printProgress(ev pubtac.ProgressEvent) {
 	}
 	fmt.Fprintf(os.Stderr, "  [%s/%s] %s %d/%d runs\n",
 		ev.Program, ev.Input, ev.Phase, ev.Done, ev.Target)
+	if ev.Phase == "done" && ev.Note != "" {
+		// Terminal events report the estimation layer's peak retained
+		// memory (bounded by the budget under -stream).
+		fmt.Fprintf(os.Stderr, "  [%s/%s] %s\n", ev.Program, ev.Input, ev.Note)
+	}
 }
 
 func printPath(r *pubtac.Result) {

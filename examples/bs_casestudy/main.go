@@ -80,7 +80,7 @@ func main() {
 			p, pa.PubOnly.PWCET(p), pa.Full.PWCET(p))
 	}
 	fmt.Printf("max observed:          %12.0f %12.0f\n",
-		stats.Max(pa.PubOnly.Sample), stats.Max(pa.Full.Sample))
+		pa.PubOnly.MaxObserved(), pa.Full.MaxObserved())
 	fmt.Println("\nthe larger campaign observes the rare conflictive cache placements")
 	fmt.Println("(the ECCDF 'knee'), so its pWCET accounts for them")
 }

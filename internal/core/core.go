@@ -243,30 +243,22 @@ func (a *Analyzer) analyzeOn(ctx context.Context, pubbed *program.Program, name 
 		// The converged sample already covers the requirement.
 		pa.Full = conv.Estimate
 		pa.RunsUsed = conv.Runs
-		a.done(name, in.Name, pa.RunsUsed)
+		a.done(name, in.Name, pa.RunsUsed, conv.Summary)
 		return pa, nil
 	}
 	// TAC demands more runs than MBPTA needed. Campaign run i depends only
 	// on (root, i), so the converged sample is exactly the prefix of the
-	// R-run campaign: extend it with runs conv.Runs..R-1 instead of
-	// re-simulating the converged prefix from scratch (bit-identical, and
-	// the convergence runs are no longer paid for twice). The converged
-	// sorted view and i.i.d. battery are reused the same way: sort the
-	// extension and merge, push the extension and re-report.
-	prefix := conv.Estimate.Sample
-	sample, err := camp.ExtendToCtx(ctx, prefix, pa.RunsUsed, root,
+	// R-run campaign: extend the converged summary with runs
+	// conv.Runs..R-1 instead of re-simulating the converged prefix from
+	// scratch (bit-identical, and the convergence runs are no longer paid
+	// for twice). The summary carries the sorted view or reservoir and the
+	// i.i.d. battery across the extension in one move.
+	err = camp.ExtendSummaryCtx(ctx, conv.Summary, pa.RunsUsed, root,
 		workers, a.progressFn(name, in.Name, "campaign"))
 	if err != nil {
 		return nil, fmt.Errorf("core: campaign on %s(%s): %w", name, in.Name, err)
 	}
-	sorted := stats.MergeSorted(conv.Sorted, stats.SortedCopy(sample[len(prefix):]))
-	var full *mbpta.Estimate
-	if conv.IID != nil {
-		conv.IID.Push(sample[len(prefix):])
-		full, err = mbpta.NewEstimateIID(sample, sorted, conv.IID, a.cfg.MBPTA)
-	} else {
-		full, err = mbpta.NewEstimateSorted(sample, sorted, a.cfg.MBPTA)
-	}
+	full, err := mbpta.NewEstimateSummary(conv.Summary, a.cfg.MBPTA)
 	if err != nil {
 		return nil, fmt.Errorf("core: estimating %s(%s): %w", name, in.Name, err)
 	}
@@ -279,14 +271,20 @@ func (a *Analyzer) analyzeOn(ctx context.Context, pubbed *program.Program, name 
 			return nil, err
 		}
 	}
-	a.done(name, in.Name, pa.RunsUsed)
+	a.done(name, in.Name, pa.RunsUsed, conv.Summary)
 	return pa, nil
 }
 
-// done emits the terminal progress event for one path.
-func (a *Analyzer) done(name, input string, runs int) {
+// done emits the terminal progress event for one path; the note carries the
+// estimation layer's peak retained memory (the quantity Config.MBPTA's
+// Streaming mode bounds), so progress sinks can surface it.
+func (a *Analyzer) done(name, input string, runs int, sum stats.SampleSummary) {
 	if a.cfg.Progress != nil {
-		a.cfg.Progress(ProgressEvent{Program: name, Input: input, Phase: "done", Done: runs, Target: runs})
+		note := ""
+		if sum != nil {
+			note = fmt.Sprintf("estimation memory: peak %d B", sum.PeakBytes())
+		}
+		a.cfg.Progress(ProgressEvent{Program: name, Input: input, Phase: "done", Done: runs, Target: runs, Note: note})
 	}
 }
 
@@ -372,7 +370,7 @@ func (a *Analyzer) AnalyzeOriginalCtx(ctx context.Context, p *program.Program,
 	if err := a.checkIID(p.Name, in.Name, "convergence", conv.Estimate, conv.Runs); err != nil {
 		return nil, err
 	}
-	a.done(p.Name, in.Name, conv.Runs)
+	a.done(p.Name, in.Name, conv.Runs, conv.Summary)
 	return &OriginalAnalysis{
 		Program:  p.Name,
 		Input:    in,

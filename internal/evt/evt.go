@@ -66,7 +66,16 @@ func FitExpTail(sample []float64, tailCount int) (*ExpTail, error) {
 // All candidate tails of a threshold scan share one sort through this
 // entry point (the scan used to pay one copy + sort per candidate).
 func FitExpTailSorted(sorted []float64, tailCount int) (*ExpTail, error) {
-	n := len(sorted)
+	return fitExpTailUpper(sorted, len(sorted), tailCount)
+}
+
+// fitExpTailUpper fits the exponential tail from the top of sortedUpper, an
+// ascending-sorted slice holding at least the top tailCount+1 order
+// statistics of a sample of total size n. With sortedUpper the whole sorted
+// sample this is exactly FitExpTailSorted; with a top-K reservoir it is the
+// same arithmetic on the same order statistics, so the fit is bit-identical
+// whenever the reservoir covers the window.
+func fitExpTailUpper(sortedUpper []float64, n, tailCount int) (*ExpTail, error) {
 	if n < 20 || tailCount < 10 {
 		return nil, ErrSampleTooSmall
 	}
@@ -76,12 +85,16 @@ func FitExpTailSorted(sorted []float64, tailCount int) (*ExpTail, error) {
 			return nil, ErrSampleTooSmall
 		}
 	}
-	u := sorted[n-tailCount-1] // threshold: leaves exactly tailCount order statistics above
+	if tailCount+1 > len(sortedUpper) {
+		return nil, ErrSampleTooSmall
+	}
+	top := len(sortedUpper)
+	u := sortedUpper[top-tailCount-1] // threshold: leaves exactly tailCount order statistics above
 	// Excesses of the top tailCount order statistics over u. Ties with u
 	// contribute zero excess; this keeps the fit defined for degenerate
 	// (low-variability) samples.
 	var sum float64
-	for _, v := range sorted[n-tailCount:] {
+	for _, v := range sortedUpper[top-tailCount:] {
 		sum += v - u
 	}
 	meanExcess := sum / float64(tailCount)
@@ -282,7 +295,15 @@ func CheckCV(sample []float64, tailCount int) CVTest {
 // are accumulated in the same largest-first order the reverse-sorted
 // implementation used, so the result is bit-identical.
 func CheckCVSorted(sorted []float64, tailCount int) CVTest {
-	n := len(sorted)
+	return checkCVUpper(sorted, len(sorted), tailCount)
+}
+
+// checkCVUpper runs the CV test off the top of sortedUpper, an
+// ascending-sorted slice holding at least the top tailCount+1 order
+// statistics of a sample of total size n. The excess moments are accumulated
+// largest-first exactly as CheckCVSorted does, so a reservoir covering the
+// window yields a bit-identical test.
+func checkCVUpper(sortedUpper []float64, n, tailCount int) CVTest {
 	k := tailCount + 1
 	if k > n {
 		k = n
@@ -290,18 +311,25 @@ func CheckCVSorted(sorted []float64, tailCount int) CVTest {
 	if k < 3 {
 		return CVTest{CV: 1, Lo: 0, Hi: 2, NTail: k}
 	}
-	u := sorted[n-k]
-	m := k - 1 // excesses: the k-1 order statistics strictly above position n-k
+	if k > len(sortedUpper) {
+		k = len(sortedUpper)
+		if k < 3 {
+			return CVTest{CV: 1, Lo: 0, Hi: 2, NTail: k}
+		}
+	}
+	top := len(sortedUpper)
+	u := sortedUpper[top-k]
+	m := k - 1 // excesses: the k-1 order statistics strictly above position top-k
 	var sum float64
-	for i := n - 1; i >= n-m; i-- {
-		sum += sorted[i] - u
+	for i := top - 1; i >= top-m; i-- {
+		sum += sortedUpper[i] - u
 	}
 	mean := sum / float64(m)
 	var cv float64
 	if mean != 0 {
 		var ss float64
-		for i := n - 1; i >= n-m; i-- {
-			d := (sorted[i] - u) - mean
+		for i := top - 1; i >= top-m; i-- {
+			d := (sortedUpper[i] - u) - mean
 			ss += d * d
 		}
 		cv = math.Sqrt(ss/float64(m-1)) / mean

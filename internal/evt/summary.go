@@ -1,0 +1,116 @@
+package evt
+
+import (
+	"math"
+
+	"pubtac/internal/stats"
+)
+
+// FitExpTailAutoSummary is FitExpTailAuto over a stats.SampleView: the
+// threshold scan reads only the view's exact upper tail (TailSorted), so it
+// works identically on the full-sample reference view and on a streaming
+// view whose reservoir covers the search window. On a full view the result
+// is bit-identical to FitExpTailAutoSorted; on a streaming view it is
+// bit-identical whenever maxTail+1 observations fit the reservoir, and
+// otherwise the window is clamped to the reservoir (a smaller, still-valid
+// scan — the documented budget/accuracy trade of the streaming arm).
+func FitExpTailAutoSummary(v stats.SampleView, minTail, maxTail int) (*ExpTail, CVTest, error) {
+	n := v.N()
+	tail := v.TailSorted()
+	if maxTail > n/2 {
+		maxTail = n / 2
+	}
+	if minTail < 10 {
+		minTail = 10
+	}
+	if maxTail < minTail {
+		maxTail = minTail
+	}
+	if maxTail > len(tail)-1 {
+		maxTail = len(tail) - 1
+	}
+	if maxTail < minTail {
+		minTail = maxTail
+	}
+	var bestFit *ExpTail
+	var bestCV CVTest
+	bestScore := math.Inf(1)
+	for tc := minTail; ; tc = tc*3/2 + 1 {
+		if tc > maxTail {
+			tc = maxTail
+		}
+		fit, err := fitExpTailUpper(tail, n, tc)
+		if err == nil {
+			cv := checkCVUpper(tail, n, tc)
+			if cv.Accepted() {
+				// Smallest accepted threshold: done.
+				return fit, cv, nil
+			}
+			if score := math.Abs(cv.CV - 1); score < bestScore {
+				bestScore, bestFit, bestCV = score, fit, cv
+			}
+		}
+		if tc >= maxTail {
+			break
+		}
+	}
+	if bestFit == nil {
+		return nil, CVTest{}, ErrSampleTooSmall
+	}
+	return bestFit, bestCV, nil
+}
+
+// SummaryComposite is the Composite pWCET curve over a stats.SampleView: the
+// pointwise maximum of the view's empirical ECCDF and the fitted tail. On a
+// full view it computes exactly what Composite computes (the view's FromTop
+// and CountLE replicate the sorted-slice and ECDF arithmetic); on a
+// streaming view the empirical half resolves through the reservoir for the
+// tail and the sketch for the body.
+type SummaryComposite struct {
+	V    stats.SampleView
+	Tail Curve
+}
+
+// NewSummaryComposite builds the composite curve over a sample view with the
+// given fitted tail.
+func NewSummaryComposite(v stats.SampleView, tail Curve) *SummaryComposite {
+	return &SummaryComposite{V: v, Tail: tail}
+}
+
+// empValueAt returns the smallest observed value whose empirical exceedance
+// probability is at most p — the same k = floor(p·n) order-statistic rule as
+// Composite.empValueAt.
+func (c *SummaryComposite) empValueAt(p float64) float64 {
+	n := c.V.N()
+	// k = number of sample points allowed to exceed the bound.
+	k := int(p * float64(n))
+	if k < 1 {
+		return c.V.FromTop(1)
+	}
+	if k >= n {
+		return c.V.Min()
+	}
+	return c.V.FromTop(k)
+}
+
+// ValueAt returns the pWCET estimate at per-run exceedance probability p:
+// the maximum of the empirical quantile and the fitted tail.
+func (c *SummaryComposite) ValueAt(p float64) float64 {
+	emp := c.empValueAt(p)
+	tail := c.Tail.ValueAt(p)
+	if emp > tail {
+		return emp
+	}
+	return tail
+}
+
+// ExceedanceOf returns the modelled per-run exceedance probability of x,
+// the maximum of the empirical and fitted exceedances.
+func (c *SummaryComposite) ExceedanceOf(x float64) float64 {
+	emp := 1 - float64(c.V.CountLE(x))/float64(c.V.N())
+	tail := c.Tail.ExceedanceOf(x)
+	if emp > tail {
+		return emp
+	}
+	return tail
+}

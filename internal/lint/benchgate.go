@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Benchgate pins the CI bench gate's coverage to the source. The regression
+// gate (cmd/benchjson -check against the committed BENCH_<pr>.json
+// baselines) only watches the benchmarks its regex selects; nothing used to
+// stop a renamed benchmark from silently falling out of the gate, or a
+// baseline entry from outliving its benchmark. The //pubtac:bench directive
+// makes the gated set explicit in the code, and this analyzer checks it
+// bidirectionally against the NEWEST committed baseline (highest N among
+// BENCH_N.json in the package directory):
+//
+//   - a Benchmark marked //pubtac:bench must appear in the newest baseline
+//     (itself or a sub-benchmark of it);
+//   - a benchmark present in the newest baseline must carry the directive;
+//   - a baseline entry naming no declared Benchmark function is stale.
+//
+// Sub-benchmark entries ("BenchmarkCheckIID/one-shot") count toward their
+// root Benchmark function. Packages without Benchmark functions or without
+// committed baselines are skipped.
+var Benchgate = &analysis.Analyzer{
+	Name: "benchgate",
+	Doc: "//pubtac:bench directives must match the newest BENCH_N.json baseline\n\n" +
+		"Benchmarks marked //pubtac:bench are the CI-gated set: each must appear in the\n" +
+		"newest committed BENCH_N.json next to its package, every baselined benchmark\n" +
+		"must carry the directive, and stale baseline entries are findings.",
+	Run: runBenchgate,
+}
+
+// benchBaselineRE matches committed bench baselines; the integer is the PR
+// number, so the highest one is the baseline of record.
+var benchBaselineRE = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// benchBaseline mirrors cmd/benchjson's output schema (the fields benchgate
+// needs).
+type benchBaseline struct {
+	Benchmarks []struct {
+		Name string `json:"name"`
+	} `json:"benchmarks"`
+}
+
+func runBenchgate(pass *analysis.Pass) (interface{}, error) {
+	type benchDecl struct {
+		fd    *ast.FuncDecl
+		gated bool
+	}
+	decls := map[string]benchDecl{}
+	var dir string
+	for _, f := range pass.Files {
+		fname := pass.Fset.Position(f.Pos()).Filename
+		if !strings.HasSuffix(fname, "_test.go") {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || !strings.HasPrefix(fd.Name.Name, "Benchmark") {
+				continue
+			}
+			gated := false
+			if fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					if d, ok := parseDirective(c); ok && d.verb == "bench" {
+						gated = true
+					}
+				}
+			}
+			decls[fd.Name.Name] = benchDecl{fd: fd, gated: gated}
+			dir = filepath.Dir(fname)
+		}
+	}
+	if len(decls) == 0 {
+		return nil, nil
+	}
+	baseline := newestBenchBaseline(dir)
+	if baseline == "" {
+		return nil, nil // no committed baseline next to these benchmarks
+	}
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		return nil, nil
+	}
+	base := filepath.Base(baseline)
+	var bb benchBaseline
+	if err := json.Unmarshal(data, &bb); err != nil {
+		pass.Reportf(pass.Files[0].Pos(), "benchgate: %s: %v", base, err)
+		return nil, nil
+	}
+	inBaseline := map[string]bool{}
+	for _, e := range bb.Benchmarks {
+		root := e.Name
+		if i := strings.IndexByte(root, '/'); i >= 0 {
+			root = root[:i] // sub-benchmarks count toward their root func
+		}
+		inBaseline[root] = true
+	}
+
+	names := make([]string, 0, len(decls))
+	for name := range decls {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		bd := decls[name]
+		switch {
+		case bd.gated && !inBaseline[name]:
+			pass.Reportf(bd.fd.Name.Pos(), "%s is marked //pubtac:bench but missing from %s; run the bench job and refresh the baseline (or drop the directive)", name, base)
+		case !bd.gated && inBaseline[name]:
+			pass.Reportf(bd.fd.Name.Pos(), "%s appears in %s but is not marked //pubtac:bench; add the directive so the gated set stays explicit", name, base)
+		}
+	}
+	stale := make([]string, 0)
+	for root := range inBaseline {
+		if _, ok := decls[root]; !ok {
+			stale = append(stale, root)
+		}
+	}
+	sort.Strings(stale)
+	for _, root := range stale {
+		pass.Reportf(pass.Files[0].Pos(), "%s baselines %s but no such benchmark is declared; the entry is stale", base, root)
+	}
+	return nil, nil
+}
+
+// newestBenchBaseline returns the path of the highest-numbered BENCH_N.json
+// in dir, or "" when none is committed.
+func newestBenchBaseline(dir string) string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return ""
+	}
+	best, bestN := "", -1
+	for _, e := range entries {
+		m := benchBaselineRE.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		if n, err := strconv.Atoi(m[1]); err == nil && n > bestN {
+			bestN, best = n, e.Name()
+		}
+	}
+	if best == "" {
+		return ""
+	}
+	return filepath.Join(dir, best)
+}

@@ -25,7 +25,13 @@
 //   - sortedview: a []float64 parameter whose name contains "sorted"
 //     declares an ascending-sorted-view precondition; arguments at such
 //     positions must be traceable to stats.SortedCopy, stats.MergeSorted, a
-//     .Sorted field/method, an in-place sort, or another sorted parameter.
+//     .Sorted field/method, a producer-named call (TailSorted), a helper
+//     whose every return is itself sorted, an in-place sort, or another
+//     sorted parameter.
+//   - benchgate: benchmarks marked //pubtac:bench are the CI-gated set;
+//     the directive must match the newest committed BENCH_N.json baseline
+//     bidirectionally (marked ⇒ baselined, baselined ⇒ marked, no stale
+//     baseline entries).
 //
 // # Directives
 //
@@ -38,6 +44,7 @@
 //	//pubtac:sorted <reason>            escape sortedview
 //	//pubtac:fastpath <name>            mark a fast-path declaration
 //	//pubtac:reference <name>           mark its reference oracle
+//	//pubtac:bench                      mark a CI-gated benchmark
 //
 // A reason or name argument is mandatory: an escape without a recorded
 // justification is itself a finding.
@@ -58,5 +65,6 @@ func Analyzers() []*analysis.Analyzer {
 		Ctxpoll,
 		Oraclepair,
 		Sortedview,
+		Benchgate,
 	}
 }

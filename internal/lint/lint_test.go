@@ -41,10 +41,15 @@ func TestSortedview(t *testing.T) {
 	linttest.Run(t, "testdata", lint.Sortedview, "sortedview/a")
 }
 
+func TestBenchgate(t *testing.T) {
+	linttest.Run(t, "testdata", lint.Benchgate, "benchgate/good")
+	linttest.Run(t, "testdata", lint.Benchgate, "benchgate/bad")
+}
+
 func TestSuiteComplete(t *testing.T) {
 	as := lint.Analyzers()
-	if len(as) != 5 {
-		t.Fatalf("Analyzers() = %d analyzers, want 5", len(as))
+	if len(as) != 6 {
+		t.Fatalf("Analyzers() = %d analyzers, want 6", len(as))
 	}
 	seen := map[string]bool{}
 	for _, a := range as {

@@ -20,7 +20,13 @@ import (
 // re-verify it on every call (that would erase the sort-once win). This
 // analyzer traces each argument at such a position back to a sorted source:
 //
-//   - a call to stats.SortedCopy, stats.MergeSorted or slices.Sorted;
+//   - a call to a function or method whose name contains "sorted" (but not
+//     "unsorted"): stats.SortedCopy, stats.MergeSorted, slices.Sorted, an
+//     interface accessor like SampleView.TailSorted — producer names carry
+//     the invariant the same way parameter names do;
+//   - a call to a same-package helper all of whose return statements are
+//     themselves sorted sources (taint through return: a merge helper
+//     propagates provenance even without a Sorted-ish name);
 //   - a field or method whose name contains "sorted" (mbpta's
 //     Convergence.Sorted, ECDF's e.sorted — named fields carry the
 //     invariant the same way named parameters do);
@@ -45,13 +51,14 @@ var Sortedview = &analysis.Analyzer{
 	Run:      runSortedview,
 }
 
-// sortedProducers are call targets whose result is ascending-sorted by
-// construction. Matched by bare name so stats.SortedCopy, slices.Sorted and
-// a future shard-merge's MergeSorted all qualify.
-var sortedProducers = map[string]bool{
-	"SortedCopy":  true,
-	"MergeSorted": true,
-	"Sorted":      true, // slices.Sorted, (*Convergence).Sorted-style accessors
+// sortedProducerName reports whether a callee name declares an
+// ascending-sorted result by convention: it contains "sorted" (SortedCopy,
+// MergeSorted, slices.Sorted, TailSorted accessors) without negating it
+// ("unsorted"). Matched on the bare name so package helpers and interface
+// methods qualify alike.
+func sortedProducerName(name string) bool {
+	l := strings.ToLower(name)
+	return strings.Contains(l, "sorted") && !strings.Contains(l, "unsorted")
 }
 
 // inPlaceSorters sort their first argument in place.
@@ -66,6 +73,19 @@ var inPlaceSorters = map[string]bool{
 
 func runSortedview(pass *analysis.Pass) (interface{}, error) {
 	esc := collectEscapes(pass)
+	// Function declarations of this package, for taint-through-return: a
+	// call to a helper qualifies when every return it can take is itself a
+	// sorted source.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	ins.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
 		if !push {
@@ -86,7 +106,8 @@ func runSortedview(pass *analysis.Pass) (interface{}, error) {
 				continue
 			}
 			arg := call.Args[i]
-			tr := &tracer{pass: pass, fn: enclosingFunc(stack), seen: make(map[types.Object]bool)}
+			tr := &tracer{pass: pass, fn: enclosingFunc(stack), decls: decls,
+				seen: make(map[types.Object]bool), tracing: make(map[*types.Func]bool)}
 			if tr.sortedSource(arg) {
 				continue
 			}
@@ -122,11 +143,13 @@ func enclosingFunc(stack []ast.Node) ast.Node {
 }
 
 // tracer decides whether an expression is traceable to a sorted source
-// within one function body.
+// within one function body (descending through same-package helper returns).
 type tracer struct {
-	pass *analysis.Pass
-	fn   ast.Node // enclosing FuncDecl/FuncLit; nil at package scope
-	seen map[types.Object]bool
+	pass    *analysis.Pass
+	fn      ast.Node // enclosing FuncDecl/FuncLit; nil at package scope
+	decls   map[*types.Func]*ast.FuncDecl
+	seen    map[types.Object]bool
+	tracing map[*types.Func]bool // recursion guard for taint-through-return
 }
 
 func (tr *tracer) sortedSource(e ast.Expr) bool {
@@ -140,7 +163,12 @@ func (tr *tracer) sortedSource(e ast.Expr) bool {
 		return tr.sortedSource(e.X)
 	case *ast.CallExpr:
 		if fn := typeutil.Callee(tr.pass.TypesInfo, e); fn != nil {
-			return sortedProducers[fn.Name()]
+			if sortedProducerName(fn.Name()) {
+				return true
+			}
+			if f, ok := fn.(*types.Func); ok {
+				return tr.returnsSorted(f)
+			}
 		}
 		return false
 	case *ast.SelectorExpr:
@@ -161,6 +189,46 @@ func (tr *tracer) sortedSource(e ast.Expr) bool {
 		return tr.localSorted(obj)
 	}
 	return false
+}
+
+// returnsSorted reports whether fn is a same-package single-result helper
+// all of whose return statements are sorted sources — provenance taints
+// through the return even when the helper's name says nothing (the
+// reservoir-merge helpers of the streaming summaries are the motivating
+// case). Recursive helpers and naked returns stay untraceable.
+func (tr *tracer) returnsSorted(fn *types.Func) bool {
+	decl := tr.decls[fn]
+	if decl == nil || decl.Body == nil || tr.tracing[fn] {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	tr.tracing[fn] = true
+	defer delete(tr.tracing, fn)
+	found, allSorted := false, true
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false // nested closures return for themselves
+		}
+		ret, isRet := n.(*ast.ReturnStmt)
+		if !isRet {
+			return true
+		}
+		found = true
+		if len(ret.Results) != 1 {
+			allSorted = false // naked return: untraceable
+			return true
+		}
+		sub := &tracer{pass: tr.pass, fn: decl, decls: tr.decls,
+			seen: make(map[types.Object]bool), tracing: tr.tracing}
+		if !sub.sortedSource(ret.Results[0]) {
+			allSorted = false
+		}
+		return true
+	})
+	return found && allSorted
 }
 
 // ascendingLiteral reports whether lit is a slice literal whose elements

@@ -1,0 +1,18 @@
+// Package bad exercises benchgate's findings.
+package bad // want `BENCH_3.json baselines BenchmarkRemoved but no such benchmark is declared`
+
+import "testing"
+
+// BenchmarkOrphan claims a gate slot the baseline does not have.
+//
+//pubtac:bench
+func BenchmarkOrphan(b *testing.B) { // want `BenchmarkOrphan is marked //pubtac:bench but missing from BENCH_3.json`
+	for i := 0; i < b.N; i++ {
+	}
+}
+
+// BenchmarkUnmarked is baselined but carries no directive.
+func BenchmarkUnmarked(b *testing.B) { // want `BenchmarkUnmarked appears in BENCH_3.json but is not marked //pubtac:bench`
+	for i := 0; i < b.N; i++ {
+	}
+}

@@ -1,0 +1,29 @@
+// Package good exercises benchgate's passing shapes: gated benchmarks
+// present in the newest baseline (directly or via sub-benchmarks), an
+// ungated benchmark the gate does not watch, and an older baseline that is
+// ignored in favor of the newest.
+package good
+
+import "testing"
+
+// BenchmarkGated is in the newest baseline and marked.
+//
+//pubtac:bench
+func BenchmarkGated(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+	}
+}
+
+// BenchmarkSubs only appears in the baseline through its sub-benchmarks.
+//
+//pubtac:bench
+func BenchmarkSubs(b *testing.B) {
+	b.Run("one", func(b *testing.B) {})
+	b.Run("two", func(b *testing.B) {})
+}
+
+// BenchmarkUngated is not gated and not baselined: nothing to check.
+func BenchmarkUngated(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+	}
+}

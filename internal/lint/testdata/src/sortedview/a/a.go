@@ -69,6 +69,46 @@ func forward(sortedView []float64) float64 {
 	return FitTail(sortedView, 1)
 }
 
+// view mimics stats.SampleView: a producer-named interface method carries
+// the invariant like a producer-named function.
+type view interface {
+	TailSorted() []float64
+}
+
+// keepTop mimics the streaming reservoir's merge helper: no Sorted-ish
+// name, but every return is a sorted source, so provenance taints through
+// the return.
+func keepTop(sortedA, sortedB []float64, k int) []float64 {
+	m := MergeSorted(sortedA, sortedB)
+	if len(m) > k {
+		return m[len(m)-k:]
+	}
+	return m
+}
+
+// shuffled returns a run-order copy: NOT a sorted source.
+func shuffled(xs []float64) []float64 {
+	return append([]float64(nil), xs...)
+}
+
+// unsortedTail has "sorted" inside "unsorted": the negation wins.
+func unsortedTail(xs []float64) []float64 {
+	return append([]float64(nil), xs...)
+}
+
+func goodTaint(v view, xs []float64) float64 {
+	total := FitTail(v.TailSorted(), 1) // producer-named interface method
+	s := SortedCopy(xs)
+	total += FitTail(keepTop(s, s, 3), 1) // taint through helper return
+	t := keepTop(s, nil, 2)
+	return total + FitTail(t, 1) // local assigned from a tainted helper
+}
+
+func badTaint(xs []float64) float64 {
+	total := FitTail(shuffled(xs), 1)           // want `must be an ascending-sorted view`
+	return total + FitTail(unsortedTail(xs), 1) // want `must be an ascending-sorted view`
+}
+
 func bad(xs []float64) float64 {
 	total := FitTail(xs, 1) // want `must be an ascending-sorted view`
 	ys := append([]float64(nil), xs...)

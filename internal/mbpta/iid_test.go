@@ -121,13 +121,14 @@ func TestConvergeReferenceIIDEquivalence(t *testing.T) {
 	if !closeTest(fi.LjungBox, ri.LjungBox, 1e-8) {
 		t.Fatalf("ljung-box diverged: %+v vs %+v", fi.LjungBox, ri.LjungBox)
 	}
-	if fast.IID == nil {
-		t.Fatal("incremental search should expose its battery state")
+	fs, ok := fast.Summary.(*stats.FullSummary)
+	if !ok {
+		t.Fatalf("non-streaming search should carry a *stats.FullSummary, got %T", fast.Summary)
 	}
-	if ref.IID != nil {
-		t.Fatal("ReferenceIID search should not carry battery state")
+	if fs.N() != fast.Runs {
+		t.Fatalf("summary covers %d runs, campaign has %d", fs.N(), fast.Runs)
 	}
-	if fast.IID.N() != fast.Runs {
-		t.Fatalf("battery covers %d runs, campaign has %d", fast.IID.N(), fast.Runs)
+	if ref.Summary.N() != ref.Runs {
+		t.Fatalf("reference summary covers %d runs, campaign has %d", ref.Summary.N(), ref.Runs)
 	}
 }

@@ -54,9 +54,26 @@ type Config struct {
 	// searches and campaign extensions: every round recomputes the
 	// one-shot stats.CheckIID battery over the full sample instead. It is
 	// the battery's analogue of proc's Engine.UseReference — slower, kept
-	// as the reference oracle for equivalence tests.
+	// as the reference oracle for equivalence tests. Ignored when
+	// Streaming is set (the streaming battery is the only bounded one).
 	ReferenceIID bool
+	// Streaming switches convergence searches and campaign extensions to
+	// the bounded-memory stats.StreamingSummary: peak estimation-layer
+	// memory is O(StreamBudget) regardless of the run count, at the
+	// documented accuracy trade (exact tail fit while the auto-fit window
+	// fits the reservoir, sketch-resolved battery median and body
+	// quantiles). Estimates no longer retain the sample.
+	Streaming bool
+	// StreamBudget is the streaming memory budget K (reservoir size,
+	// sketch buckets, battery retention); 0 means DefaultStreamBudget.
+	StreamBudget int
 }
+
+// DefaultStreamBudget is the streaming budget used when Config.Streaming is
+// set without an explicit StreamBudget: large enough that the auto-fit
+// search window (n/5) stays inside the exact reservoir up to n ≈ 40k runs,
+// while bounding the estimation layer to a few hundred KiB per path.
+const DefaultStreamBudget = 8192
 
 // DefaultConfig returns the configuration used throughout the evaluation.
 func DefaultConfig() Config {
@@ -197,11 +214,18 @@ func (c *Campaign) collectInto(ctx context.Context, dst []float64, root uint64,
 
 // Estimate is a fitted pWCET model plus its diagnostics.
 type Estimate struct {
-	Curve  evt.Curve    // the pWCET curve (exponential tail)
-	Tail   *evt.ExpTail // the underlying fit
-	Sample []float64    // the execution-time sample used
-	IID    stats.IIDReport
-	CV     evt.CVTest
+	Curve evt.Curve    // the pWCET curve (exponential tail)
+	Tail  *evt.ExpTail // the underlying fit
+	// Sample is the execution-time sample used, in run order. It is nil
+	// for streaming estimates (Config.Streaming), which by design do not
+	// retain the sample; use View for the quantities that remain.
+	Sample []float64
+	// View is the sample summary snapshot behind the estimate: size, min,
+	// max, exact upper tail and (possibly sketch-resolved) body quantiles.
+	// Always non-nil.
+	View stats.SampleView
+	IID  stats.IIDReport
+	CV   evt.CVTest
 }
 
 // ErrSampleTooSmall mirrors evt.ErrSampleTooSmall at this layer.
@@ -224,12 +248,7 @@ func NewEstimate(sample []float64, cfg Config) (*Estimate, error) {
 // not be modified afterwards. sample stays in run order (the i.i.d. battery
 // needs it).
 func NewEstimateSorted(sample, sorted []float64, cfg Config) (*Estimate, error) {
-	est, err := fitSorted(sample, sorted, cfg)
-	if err != nil {
-		return nil, err
-	}
-	est.IID = stats.CheckIIDSorted(sample, sorted)
-	return est, nil
+	return NewEstimateSummary(stats.AdoptFullSummary(sample, sorted, nil), cfg)
 }
 
 // NewEstimateIID is NewEstimateSorted for callers that additionally
@@ -239,34 +258,44 @@ func NewEstimateSorted(sample, sorted []float64, cfg Config) (*Estimate, error) 
 // re-scan; the one-shot path (NewEstimate/NewEstimateSorted) stays as the
 // reference battery for external callers and for Config.ReferenceIID.
 func NewEstimateIID(sample, sorted []float64, st *stats.IIDState, cfg Config) (*Estimate, error) {
-	est, err := fitSorted(sample, sorted, cfg)
-	if err != nil {
-		return nil, err
-	}
-	est.IID = st.ReportSorted(sorted)
-	return est, nil
+	return NewEstimateSummary(stats.AdoptFullSummary(sample, sorted, st), cfg)
 }
 
-// fitSorted fits the tail and composite curve on the shared sorted view;
-// the caller fills in the admissibility report.
-func fitSorted(sample, sorted []float64, cfg Config) (*Estimate, error) {
-	tail, cv, err := evt.FitExpTailAutoSorted(sorted, cfg.TailCount, len(sorted)/5)
+// NewEstimateSummary fits a pWCET model to the sample behind a
+// stats.SampleSummary: the tail fit, CV test, composite curve and
+// admissibility battery all read the summary, so the one entry point serves
+// both the retained-sample reference arm (bit-identical to the historical
+// NewEstimateSorted/NewEstimateIID paths) and the bounded-memory streaming
+// arm. The estimate holds an immutable snapshot of the summary; the caller
+// may keep pushing runs into it afterwards.
+func NewEstimateSummary(sum stats.SampleSummary, cfg Config) (*Estimate, error) {
+	v := sum.View()
+	tail, cv, err := evt.FitExpTailAutoSummary(v, cfg.TailCount, v.N()/5)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrSampleTooSmall, err)
 	}
-	return &Estimate{
-		Curve:  evt.NewCompositeSorted(sorted, tail),
-		Tail:   tail,
-		Sample: sample,
-		CV:     cv,
-	}, nil
+	est := &Estimate{
+		Curve: evt.NewSummaryComposite(v, tail),
+		Tail:  tail,
+		View:  v,
+		CV:    cv,
+		IID:   sum.IID(),
+	}
+	if fs, ok := sum.(*stats.FullSummary); ok {
+		est.Sample = fs.Sample()
+	}
+	return est, nil
 }
 
 // PWCET returns the pWCET estimate at per-run exceedance probability p.
 func (e *Estimate) PWCET(p float64) float64 { return e.Curve.ValueAt(p) }
 
 // Runs returns the sample size behind the estimate.
-func (e *Estimate) Runs() int { return len(e.Sample) }
+func (e *Estimate) Runs() int { return e.View.N() }
+
+// MaxObserved returns the largest observed execution time — exact in every
+// mode, including streaming estimates that retain no sample.
+func (e *Estimate) MaxObserved() float64 { return e.View.Max() }
 
 // Admissible reports whether the sample passed the i.i.d. battery at the
 // given significance level.
@@ -279,17 +308,13 @@ type Convergence struct {
 	Converged bool      // false when MaxRuns was hit first
 	Estimate  *Estimate // estimate at the final sample size
 
-	// Sorted is the ascending-sorted view of Estimate.Sample maintained
-	// across convergence rounds. Callers extending the campaign (package
-	// core) merge new runs into it instead of re-sorting; treat it as
-	// read-only.
-	Sorted []float64
-
-	// IID is the incremental admissibility battery covering
-	// Estimate.Sample. Callers extending the campaign (package core) Push
-	// the extension and re-report instead of re-scanning the whole sample.
-	// It is nil when the search ran with Config.ReferenceIID.
-	IID *stats.IIDState
+	// Summary is the sample summary maintained across convergence rounds:
+	// a stats.FullSummary (retained sample + merged sorted view +
+	// battery) by default, a bounded-memory stats.StreamingSummary under
+	// Config.Streaming. Callers extending the campaign (package core)
+	// push new runs into it via ExtendSummaryCtx and re-estimate with
+	// NewEstimateSummary instead of recollecting or re-sorting.
+	Summary stats.SampleSummary
 }
 
 // Converge grows a measurement campaign until the probe pWCET stabilizes:
@@ -318,44 +343,30 @@ func (c *Campaign) ConvergeCtx(ctx context.Context, cfg Config,
 	if cfg.InitialRuns < 20 {
 		return nil, fmt.Errorf("mbpta: InitialRuns %d too small", cfg.InitialRuns)
 	}
-	n := cfg.InitialRuns
-	sample, err := c.CollectCtx(ctx, n, root, cfg.Workers, progress)
-	if err != nil {
+	// The summary is maintained incrementally: each round pushes only its
+	// increment (sorting the increment, merging it into the sorted view or
+	// reservoir, pushing the battery), so the per-round estimation cost is
+	// O(n + inc·log inc) instead of a full O(n log n) re-sort and
+	// O(n·lags) battery re-scan — and O(K + inc·log inc) with a streaming
+	// summary, whose memory never grows past the budget.
+	sum := NewSummary(cfg)
+	if err := c.pushRuns(ctx, sum, cfg.InitialRuns, root, cfg.Workers, progress); err != nil {
 		return nil, err
 	}
-	// The sorted view is maintained incrementally: each round sorts only
-	// its increment and merges it in, so the per-round estimation cost is
-	// O(n + inc·log inc) instead of a full O(n log n) re-sort (times the
-	// number of candidate tails, before the sort-once rework in evt). The
-	// i.i.d. battery is maintained the same way: each round pushes only
-	// its increment into the accumulator instead of CheckIID re-scanning
-	// the full sample.
-	sorted := stats.SortedCopy(sample)
-	var iid *stats.IIDState
-	if !cfg.ReferenceIID {
-		iid = new(stats.IIDState)
-		iid.Push(sample)
-	}
-	est, err := roundEstimate(sample, sorted, iid, cfg)
+	est, err := NewEstimateSummary(sum, cfg)
 	if err != nil {
 		return nil, err
 	}
 	prev := est.PWCET(cfg.StabilityProb)
 	stable := 0
 	rounds := 0
-	for n < cfg.MaxRuns {
+	for sum.N() < cfg.MaxRuns {
 		// Extend deterministically: the new runs use seeds n..n+inc-1.
-		sample, err = c.extendCtx(ctx, sample, cfg.Increment, root, cfg.Workers, progress)
-		if err != nil {
+		if err := c.pushRuns(ctx, sum, cfg.Increment, root, cfg.Workers, progress); err != nil {
 			return nil, err
 		}
-		if iid != nil {
-			iid.Push(sample[n:])
-		}
-		sorted = stats.MergeSorted(sorted, stats.SortedCopy(sample[n:]))
-		n = len(sample)
 		rounds++
-		est, err = roundEstimate(sample, sorted, iid, cfg)
+		est, err = NewEstimateSummary(sum, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -363,24 +374,90 @@ func (c *Campaign) ConvergeCtx(ctx context.Context, cfg Config,
 		if relDiff(cur, prev) <= cfg.StabilityEps {
 			stable++
 			if stable >= cfg.StableRounds {
-				return &Convergence{Runs: n, Rounds: rounds, Converged: true, Estimate: est, Sorted: sorted, IID: iid}, nil
+				return &Convergence{Runs: sum.N(), Rounds: rounds, Converged: true, Estimate: est, Summary: sum}, nil
 			}
 		} else {
 			stable = 0
 		}
 		prev = cur
 	}
-	return &Convergence{Runs: n, Rounds: rounds, Converged: false, Estimate: est, Sorted: sorted, IID: iid}, nil
+	return &Convergence{Runs: sum.N(), Rounds: rounds, Converged: false, Estimate: est, Summary: sum}, nil
 }
 
-// roundEstimate fits one convergence round's estimate: through the
-// incremental battery when one is maintained, through the one-shot
-// reference battery otherwise (Config.ReferenceIID).
-func roundEstimate(sample, sorted []float64, iid *stats.IIDState, cfg Config) (*Estimate, error) {
-	if iid == nil {
-		return NewEstimateSorted(sample, sorted, cfg)
+// NewSummary builds the sample summary a campaign under cfg accumulates
+// into: streaming (bounded memory) when cfg.Streaming, otherwise the
+// full-sample reference summary with the battery mode cfg.ReferenceIID
+// selects.
+func NewSummary(cfg Config) stats.SampleSummary {
+	if cfg.Streaming {
+		b := cfg.StreamBudget
+		if b <= 0 {
+			b = DefaultStreamBudget
+		}
+		return stats.NewStreamingSummary(b)
 	}
-	return NewEstimateIID(sample, sorted, iid, cfg)
+	return stats.NewFullSummary(!cfg.ReferenceIID)
+}
+
+// streamChunk is the collection granularity of streaming campaigns: runs are
+// collected into a reusable buffer of this size and pushed chunk by chunk,
+// so no round ever materializes its full increment. It is a fixed multiple
+// of collectBlock: the streaming battery dichotomizes each chunk at the
+// then-current sketch median, so the chunk size is part of the battery's
+// definition and must not vary with worker count or round size.
+const streamChunk = 8 * collectBlock
+
+// summaryChunk returns the collection chunk size for a summary: bounded for
+// streaming summaries, a whole round at a time otherwise (the full summary
+// retains the sample anyway, and one merged sort per round is cheapest).
+func summaryChunk(sum stats.SampleSummary) int {
+	if _, ok := sum.(*stats.StreamingSummary); ok {
+		return streamChunk
+	}
+	return 0
+}
+
+// pushRuns collects the next add runs of the campaign (runs sum.N() ..
+// sum.N()+add-1, index-addressed as always) and pushes them into sum in run
+// order. Collection within each chunk fans out over workers; chunks are
+// pushed sequentially, and the chunk size is a deterministic function of the
+// summary type, so the summary state is bit-identical at any worker count.
+func (c *Campaign) pushRuns(ctx context.Context, sum stats.SampleSummary, add int,
+	root uint64, workers int, progress Progress) error {
+	if add <= 0 {
+		return ctx.Err()
+	}
+	offset := sum.N()
+	target := offset + add
+	chunk := summaryChunk(sum)
+	if chunk <= 0 || chunk > add {
+		chunk = add
+	}
+	buf := make([]float64, chunk)
+	for done := 0; done < add; {
+		m := add - done
+		if m > chunk {
+			m = chunk
+		}
+		b := buf[:m]
+		if err := c.collectInto(ctx, b, root, offset+done, workers, progress, target); err != nil {
+			return err
+		}
+		sum.Push(b) // summaries copy what they keep; buf is reused
+		done += m
+	}
+	return nil
+}
+
+// ExtendSummaryCtx grows a campaign summary to target runs, collecting and
+// pushing runs sum.N()..target-1 of the campaign rooted at root. Because run
+// i depends only on (root, i), the summary ends bit-identical to one fed all
+// target runs from scratch — callers holding a converged summary (package
+// core, when TAC demands more runs than MBPTA needed) extend it instead of
+// recollecting.
+func (c *Campaign) ExtendSummaryCtx(ctx context.Context, sum stats.SampleSummary,
+	target int, root uint64, workers int, progress Progress) error {
+	return c.pushRuns(ctx, sum, target-sum.N(), root, workers, progress)
 }
 
 // extendCtx appends inc new runs to sample, cancellably. The new runs'

@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"pubtac/internal/rng"
+)
+
+// TestSketchExactMode: while the distinct-value count fits the budget the
+// sketch is a plain frequency table — quantiles reproduce QuantileSorted bit
+// for bit and rank counts are exact.
+func TestSketchExactMode(t *testing.T) {
+	gen := rng.New(5)
+	sk := NewQuantileSketch(256)
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = math.Floor(gen.Float64()*200) + 40000
+	}
+	for lo := 0; lo < len(xs); lo += 700 {
+		hi := lo + 700
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		sk.Push(xs[lo:hi])
+	}
+	if sk.Step() != 0 {
+		t.Fatalf("200 distinct values under budget 256 should stay exact, step=%v", sk.Step())
+	}
+	sorted := SortedCopy(xs)
+	for _, q := range []float64{0, 0.001, 0.1, 0.25, 0.5, 0.75, 0.9, 0.999, 1} {
+		if got, want := sk.Quantile(q), QuantileSorted(sorted, q); got != want {
+			t.Fatalf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+	for _, x := range []float64{39999, 40000, 40100.5, 40199, 50000} {
+		want := sort.SearchFloat64s(sorted, x+0.5) // integer grid: count <= x
+		if got := sk.CountLE(x); got != want {
+			t.Fatalf("CountLE(%v) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+// TestSketchCoarseningErrorBound: past the budget the sketch coarsens to the
+// canonical power-of-two step, which stays under 2·span/(budget-1), and
+// every quantile lands within one step of the exact value.
+func TestSketchCoarseningErrorBound(t *testing.T) {
+	gen := rng.New(9)
+	const budget = 128
+	sk := NewQuantileSketch(budget)
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = gen.Float64() * 1e6 // continuous: far more distinct values than buckets
+	}
+	for lo := 0; lo < len(xs); lo += 4096 {
+		hi := lo + 4096
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		sk.Push(xs[lo:hi])
+	}
+	sorted := SortedCopy(xs)
+	span := sorted[len(sorted)-1] - sorted[0]
+	step := sk.Step()
+	if step <= 0 {
+		t.Fatal("sketch should have coarsened")
+	}
+	if bound := 2 * span / float64(budget-1); step >= bound {
+		t.Fatalf("step %v >= documented bound %v", step, bound)
+	}
+	if sk.Buckets() > budget {
+		t.Fatalf("bucket count %d exceeds budget %d", sk.Buckets(), budget)
+	}
+	for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.75, 0.99, 1} {
+		got, want := sk.Quantile(q), QuantileSorted(sorted, q)
+		if math.Abs(got-want) > step {
+			t.Fatalf("Quantile(%v) = %v, exact %v: off by %v > step %v", q, got, want, got-want, step)
+		}
+	}
+}
+
+// TestSketchMergeAssociative: merging is bit-deterministic and associative —
+// the canonical step rule makes ((A·B)·C) and (A·(B·C)) identical bucket for
+// bucket, and both match a sketch fed the concatenated stream.
+func TestSketchMergeAssociative(t *testing.T) {
+	gen := rng.New(13)
+	const budget = 64
+	mk := func(n int, scale, base float64) (*QuantileSketch, []float64) {
+		sk := NewQuantileSketch(budget)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = gen.Float64()*scale + base
+		}
+		sk.Push(xs)
+		return sk, xs
+	}
+	a, xa := mk(3000, 1e5, 0)
+	b, xb := mk(2000, 1e3, 5e5) // disjoint range: merge must rebin
+	c, xc := mk(1000, 1e6, -2e5)
+
+	left := a.Clone()
+	left.Merge(b.Clone())
+	left.Merge(c.Clone())
+	bc := b.Clone()
+	bc.Merge(c.Clone())
+	right := a.Clone()
+	right.Merge(bc)
+	all := NewQuantileSketch(budget)
+	all.Push(xa)
+	all.Push(xb)
+	all.Push(xc)
+
+	for _, pair := range []struct {
+		name string
+		x, y *QuantileSketch
+	}{{"assoc", left, right}, {"merge-vs-push", left, all}} {
+		x, y := pair.x, pair.y
+		if x.N() != y.N() || x.Step() != y.Step() || x.Buckets() != y.Buckets() {
+			t.Fatalf("%s: shape (%d,%v,%d) != (%d,%v,%d)",
+				pair.name, x.N(), x.Step(), x.Buckets(), y.N(), y.Step(), y.Buckets())
+		}
+		for i := range x.vals {
+			if x.vals[i] != y.vals[i] || x.counts[i] != y.counts[i] {
+				t.Fatalf("%s: bucket %d: (%v,%d) != (%v,%d)",
+					pair.name, i, x.vals[i], x.counts[i], y.vals[i], y.counts[i])
+			}
+		}
+	}
+}
+
+// TestSketchDegenerate covers empty and constant sketches.
+func TestSketchDegenerate(t *testing.T) {
+	sk := NewQuantileSketch(64)
+	if sk.N() != 0 || sk.Bytes() <= 0 {
+		t.Fatalf("empty sketch: n=%d bytes=%d", sk.N(), sk.Bytes())
+	}
+	empty := NewQuantileSketch(64)
+	sk.Merge(empty) // empty·empty must be a no-op, not a panic
+	sk.Push([]float64{7, 7, 7, 7})
+	if sk.Quantile(0) != 7 || sk.Quantile(0.5) != 7 || sk.Quantile(1) != 7 {
+		t.Fatalf("constant sketch quantiles broken")
+	}
+	if sk.CountLE(6.9) != 0 || sk.CountLE(7) != 4 {
+		t.Fatalf("constant sketch counts broken")
+	}
+	empty.Merge(sk) // merging into empty adopts
+	if empty.N() != 4 || empty.Quantile(0.5) != 7 {
+		t.Fatalf("merge into empty: n=%d", empty.N())
+	}
+}

@@ -1,0 +1,365 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"pubtac/internal/rng"
+)
+
+// gridSample returns n execution-time-like values: integer cycles on a
+// coarse grid (distinct values stay far below typical sketch budgets, so the
+// sketch remains exact — the regime real campaigns live in).
+func gridSample(seed uint64, n int) []float64 {
+	gen := rng.New(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Floor(gen.Float64()*800) + 40000
+	}
+	return xs
+}
+
+// gapSample returns n values strictly split around a central gap: even
+// indices land at 40000+1..51, odd indices at 40000-51..-1. Every
+// even-length prefix has exactly as many highs as lows, so the type-7
+// median of any even-length prefix falls strictly inside the gap: no value
+// ever ties the median, and the runs-test dichotomization is identical no
+// matter when or from which (even-sized) prefix the median is taken. This
+// pins the one streaming battery approximation (per-block medians) and
+// makes the whole battery comparable bit for bit.
+func gapSample(seed uint64, n int) []float64 {
+	gen := rng.New(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		off := 1 + math.Floor(gen.Float64()*50)
+		if i%2 == 1 {
+			off = -off
+		}
+		xs[i] = 40000 + off
+	}
+	return xs
+}
+
+// pushBlocks feeds xs into sum in blocks of size block.
+func pushBlocks(sum SampleSummary, xs []float64, block int) {
+	for lo := 0; lo < len(xs); lo += block {
+		hi := lo + block
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		sum.Push(xs[lo:hi])
+	}
+}
+
+// sameView asserts bit-identity of the estimation surface two views expose:
+// size, extremes, the exact upper tail, rank and quantile queries.
+func sameView(t *testing.T, label string, a, b SampleView) {
+	t.Helper()
+	if a.N() != b.N() {
+		t.Fatalf("%s: N %d != %d", label, a.N(), b.N())
+	}
+	if a.Min() != b.Min() || a.Max() != b.Max() {
+		t.Fatalf("%s: extremes (%v,%v) != (%v,%v)", label, a.Min(), a.Max(), b.Min(), b.Max())
+	}
+	ta, tb := a.TailSorted(), b.TailSorted()
+	k := len(ta)
+	if len(tb) < k {
+		k = len(tb)
+	}
+	for i := 1; i <= k; i++ {
+		if ta[len(ta)-i] != tb[len(tb)-i] {
+			t.Fatalf("%s: TailSorted from top %d: %v != %v", label, i, ta[len(ta)-i], tb[len(tb)-i])
+		}
+		if a.FromTop(i) != b.FromTop(i) {
+			t.Fatalf("%s: FromTop(%d): %v != %v", label, i, a.FromTop(i), b.FromTop(i))
+		}
+	}
+	for _, q := range []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.999, 1} {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Fatalf("%s: Quantile(%v): %v != %v", label, q, a.Quantile(q), b.Quantile(q))
+		}
+	}
+	for _, x := range []float64{0, a.Min() - 1, a.Min(), a.Quantile(0.5), a.Max(), a.Max() + 1} {
+		if a.CountLE(x) != b.CountLE(x) {
+			t.Fatalf("%s: CountLE(%v): %d != %d", label, x, a.CountLE(x), b.CountLE(x))
+		}
+	}
+}
+
+// TestStreamingSummaryMatchesFullSummary is the oracle-pair equivalence test
+// of the "summary" pair: a StreamingSummary whose reservoir covers the
+// sample and whose sketch stays exact must reproduce the FullSummary
+// reference bit for bit — estimation surface, snapshot views, and (on the
+// gap construction, which removes the per-block-median caveat) the whole
+// admissibility battery; Ljung-Box agrees to reassociation error.
+func TestStreamingSummaryMatchesFullSummary(t *testing.T) {
+	cases := []struct {
+		name  string
+		xs    []float64
+		block int
+		// exactRuns: the gap construction pins the dichotomization, so the
+		// runs test is bit-identical. On a plain random grid pushed in
+		// blocks the per-block medians drift while the sample is small —
+		// the documented streaming approximation — so the runs statistic
+		// only agrees approximately there.
+		exactRuns bool
+	}{
+		{"one-block", gapSample(3, 1500), 1500, true},
+		{"blocked", gapSample(3, 1500), 250, true},
+		{"grid-blocked", gridSample(7, 1400), 200, false},
+		{"tiny", gapSample(9, 40), 10, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			full := NewFullSummary(true)
+			stream := NewStreamingSummary(1024)
+			pushBlocks(full, c.xs, c.block)
+			pushBlocks(stream, c.xs, c.block)
+
+			if stream.Bytes() == 0 || stream.PeakBytes() < stream.Bytes() {
+				t.Fatalf("memory accounting: bytes %d, peak %d", stream.Bytes(), stream.PeakBytes())
+			}
+			sameView(t, "summary", full, stream)
+			sameView(t, "view", full.View(), stream.View())
+
+			fi, si := full.IID(), stream.IID()
+			if c.exactRuns && !sameResult(fi.Runs, si.Runs) {
+				t.Fatalf("runs test diverged: %+v vs %+v", fi.Runs, si.Runs)
+			}
+			if !c.exactRuns && math.Abs(fi.Runs.Statistic-si.Runs.Statistic) > 0.25 {
+				t.Fatalf("runs test drifted too far: %+v vs %+v", fi.Runs, si.Runs)
+			}
+			if !sameResult(fi.Identical, si.Identical) {
+				t.Fatalf("ks test diverged: %+v vs %+v", fi.Identical, si.Identical)
+			}
+			if !closeResult(fi.LjungBox, si.LjungBox, 1e-8) {
+				t.Fatalf("ljung-box diverged: %+v vs %+v", fi.LjungBox, si.LjungBox)
+			}
+
+			// The views are snapshots: growing the summaries must not
+			// change them.
+			vf, vs := full.View(), stream.View()
+			wantMax := vf.Max()
+			full.Push([]float64{1e9})
+			stream.Push([]float64{1e9})
+			if vf.Max() != wantMax || vs.Max() != wantMax {
+				t.Fatalf("views not snapshots: %v/%v after push, want %v", vf.Max(), vs.Max(), wantMax)
+			}
+		})
+	}
+}
+
+// TestStreamingSummaryTailMatchesBeyondReservoir checks the partial-coverage
+// regime: with n far above the budget, the reservoir still holds the exact
+// top-K order statistics of the full sample, and rank queries below the
+// reservoir resolve through the (here exact) sketch.
+func TestStreamingSummaryTailMatchesBeyondReservoir(t *testing.T) {
+	// 50 distinct grid values keep the sketch exact even at the floored
+	// minimum budget, so every rank query resolves exactly.
+	gen := rng.New(11)
+	xs := make([]float64, 6000)
+	for i := range xs {
+		xs[i] = math.Floor(gen.Float64()*50) + 40000
+	}
+	full := NewFullSummary(true)
+	stream := NewStreamingSummary(0) // floored to MinStreamBudget
+	pushBlocks(full, xs, 512)
+	pushBlocks(stream, xs, 512)
+
+	if got := len(stream.TailSorted()); got != MinStreamBudget {
+		t.Fatalf("reservoir holds %d values, want %d", got, MinStreamBudget)
+	}
+	for k := 1; k <= len(xs); k = k*3 + 1 {
+		if full.FromTop(k) != stream.FromTop(k) {
+			t.Fatalf("FromTop(%d): %v != %v", k, full.FromTop(k), stream.FromTop(k))
+		}
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		if full.Quantile(q) != stream.Quantile(q) {
+			t.Fatalf("Quantile(%v): %v != %v", q, full.Quantile(q), stream.Quantile(q))
+		}
+	}
+}
+
+// TestSummaryMergeAssociative: merging shard summaries is associative and
+// deterministic — ((A·B)·C) and (A·(B·C)) produce bit-identical estimation
+// surfaces, and both match a single summary pushed the concatenated stream
+// (the sketch, reservoir and extremes are multiset properties). The battery
+// counts merge exactly on the gap construction; Ljung-Box moments agree to
+// reassociation error.
+func TestSummaryMergeAssociative(t *testing.T) {
+	xs := gapSample(21, 2520)
+	chunks := [][]float64{xs[:1000], xs[1000:1900], xs[1900:]}
+	build := func(c []float64) *StreamingSummary {
+		s := NewStreamingSummary(512)
+		pushBlocks(s, c, 128)
+		return s
+	}
+
+	// ((A·B)·C)
+	left := build(chunks[0])
+	if err := left.Merge(build(chunks[1])); err != nil {
+		t.Fatal(err)
+	}
+	if err := left.Merge(build(chunks[2])); err != nil {
+		t.Fatal(err)
+	}
+	// (A·(B·C))
+	bc := build(chunks[1])
+	if err := bc.Merge(build(chunks[2])); err != nil {
+		t.Fatal(err)
+	}
+	right := build(chunks[0])
+	if err := right.Merge(bc); err != nil {
+		t.Fatal(err)
+	}
+	// The pushed-through stream, for the multiset surface.
+	pushed := build(xs)
+
+	sameView(t, "assoc", left, right)
+	sameView(t, "merge-vs-push", left, pushed)
+
+	li, ri := left.IID(), right.IID()
+	if !sameResult(li.Runs, ri.Runs) || !sameResult(li.Identical, ri.Identical) {
+		t.Fatalf("merged batteries diverged: %+v vs %+v", li, ri)
+	}
+	if !closeResult(li.LjungBox, ri.LjungBox, 1e-8) {
+		t.Fatalf("merged ljung-box diverged: %+v vs %+v", li.LjungBox, ri.LjungBox)
+	}
+
+	// Type mismatches are errors, not corruption.
+	if err := left.Merge(NewFullSummary(false)); err == nil {
+		t.Fatal("merging a FullSummary into a StreamingSummary should error")
+	}
+	if err := NewFullSummary(false).Merge(pushed); err == nil {
+		t.Fatal("merging a StreamingSummary into a FullSummary should error")
+	}
+}
+
+// TestSummaryMergeDegenerate covers the empty/singleton merge corners of
+// both implementations.
+func TestSummaryMergeDegenerate(t *testing.T) {
+	t.Run("streaming", func(t *testing.T) {
+		empty := NewStreamingSummary(64)
+		if err := empty.Merge(NewStreamingSummary(64)); err != nil || empty.N() != 0 {
+			t.Fatalf("empty·empty: err=%v n=%d", err, empty.N())
+		}
+		single := NewStreamingSummary(64)
+		single.Push([]float64{42})
+		if err := empty.Merge(single); err != nil {
+			t.Fatal(err)
+		}
+		if empty.N() != 1 || empty.Min() != 42 || empty.Max() != 42 || empty.FromTop(1) != 42 {
+			t.Fatalf("empty·singleton: n=%d min=%v max=%v", empty.N(), empty.Min(), empty.Max())
+		}
+		if err := empty.Merge(NewStreamingSummary(64)); err != nil || empty.N() != 1 {
+			t.Fatalf("singleton·empty: err=%v n=%d", err, empty.N())
+		}
+		empty.IID() // must not panic
+	})
+	t.Run("full", func(t *testing.T) {
+		empty := NewFullSummary(true)
+		single := NewFullSummary(true)
+		single.Push([]float64{42})
+		if err := empty.Merge(single); err != nil {
+			t.Fatal(err)
+		}
+		if empty.N() != 1 || empty.Max() != 42 {
+			t.Fatalf("empty·singleton: n=%d", empty.N())
+		}
+		empty.IID()
+	})
+}
+
+// TestStreamingSummaryDegenerateInputs: constant and tie-heavy samples, and
+// samples smaller than the reservoir, must neither panic nor diverge from
+// the reference.
+func TestStreamingSummaryDegenerateInputs(t *testing.T) {
+	t.Run("constant", func(t *testing.T) {
+		s := NewStreamingSummary(64)
+		xs := make([]float64, 500)
+		for i := range xs {
+			xs[i] = 7
+		}
+		pushBlocks(s, xs, 100)
+		if s.Min() != 7 || s.Max() != 7 || s.Quantile(0.5) != 7 || s.FromTop(300) != 7 {
+			t.Fatalf("constant summary broken: %v %v %v", s.Min(), s.Max(), s.Quantile(0.5))
+		}
+		rep := s.IID()
+		if !rep.Passed(0.05) {
+			t.Fatalf("constant sample rejected: %+v", rep)
+		}
+	})
+	t.Run("tie-heavy", func(t *testing.T) {
+		gen := rng.New(5)
+		xs := make([]float64, 1200)
+		for i := range xs {
+			xs[i] = math.Floor(gen.Float64() * 4) // 4 distinct values
+		}
+		full := NewFullSummary(true)
+		stream := NewStreamingSummary(1024)
+		full.Push(xs) // single block: medians coincide by construction
+		stream.Push(xs)
+		sameView(t, "ties", full, stream)
+		fi, si := full.IID(), stream.IID()
+		if !sameResult(fi.Runs, si.Runs) || !sameResult(fi.Identical, si.Identical) {
+			t.Fatalf("tie-heavy battery diverged: %+v vs %+v", fi, si)
+		}
+	})
+	t.Run("smaller-than-reservoir", func(t *testing.T) {
+		xs := gapSample(31, 40)
+		full := NewFullSummary(true)
+		stream := NewStreamingSummary(64)
+		pushBlocks(full, xs, 8)
+		pushBlocks(stream, xs, 8)
+		sameView(t, "small", full, stream)
+		if len(stream.TailSorted()) != len(xs) {
+			t.Fatalf("reservoir should hold the whole small sample: %d", len(stream.TailSorted()))
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		s := NewStreamingSummary(64)
+		s.Push(nil)
+		if s.N() != 0 {
+			t.Fatal("pushing nothing changed the count")
+		}
+		s.IID() // must not panic on an empty battery
+	})
+}
+
+// TestStreamingSummaryMemoryBounded pins the tentpole's memory model: after
+// 200k pushed runs at budget 256, the retained and peak bytes stay bounded
+// by a function of the budget alone (reservoir + sketch + battery
+// retention), independent of the run count.
+func TestStreamingSummaryMemoryBounded(t *testing.T) {
+	const budget = 256
+	s := NewStreamingSummary(budget)
+	gen := rng.New(77)
+	block := make([]float64, 1000)
+	var at50k int
+	for pushed := 0; pushed < 200_000; pushed += len(block) {
+		for i := range block {
+			block[i] = gen.Float64() * 1e6 // continuous: forces sketch coarsening
+		}
+		s.Push(block)
+		if pushed == 49_000 {
+			at50k = s.PeakBytes()
+		}
+	}
+	bound := 48*budget + 8192 // reservoir + sketch + battery retention + slack
+	if s.PeakBytes() > bound {
+		t.Fatalf("peak %d B exceeds budget bound %d B", s.PeakBytes(), bound)
+	}
+	if s.PeakBytes() > at50k {
+		t.Fatalf("memory still growing past 50k runs: %d B -> %d B", at50k, s.PeakBytes())
+	}
+	if s.N() != 200_000 {
+		t.Fatalf("n = %d", s.N())
+	}
+	// The sketch coarsened but its resolution stays within the documented
+	// bound: step < 2·span/(budget-1).
+	span := s.Max() - s.Min()
+	if step := s.sketch.Step(); step <= 0 || step >= 2*span/float64(budget-1) {
+		t.Fatalf("sketch step %v outside (0, %v)", step, 2*span/float64(budget-1))
+	}
+}

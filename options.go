@@ -101,6 +101,24 @@ func WithReferenceEnumeration(on bool) Option {
 	return func(s *sessionSettings) { s.cfg.TAC.ReferenceEnumeration = on }
 }
 
+// WithStreamingEstimation switches the estimation layer to the
+// bounded-memory streaming summary: each path's campaign retains an exact
+// top-K tail reservoir, a quantile sketch and the streaming i.i.d. battery
+// instead of the full sample, so peak estimation memory is O(budget) per
+// path regardless of how many runs TAC demands. budget is the memory knob K
+// (reservoir size, sketch buckets, battery retention); 0 selects the
+// default (8192). The pWCET tail fit is bit-identical to the full-sample
+// path while the auto-fit search window (n/5 tail candidates) fits the
+// reservoir; beyond that the window clamps to the reservoir, and body
+// quantiles and the battery median resolve through the sketch (value error
+// under 2·span/(budget-1)). Streaming estimates do not retain the sample.
+func WithStreamingEstimation(budget int) Option {
+	return func(s *sessionSettings) {
+		s.cfg.MBPTA.Streaming = true
+		s.cfg.MBPTA.StreamBudget = budget
+	}
+}
+
 // WithIIDHardFail promotes the i.i.d. admissibility warning to a hard
 // failure: analyses whose sample fails the battery (runs, Ljung-Box,
 // Kolmogorov-Smirnov at the configured Alpha) return an error wrapping

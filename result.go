@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"pubtac/internal/core"
-	"pubtac/internal/stats"
 )
 
 // PWCETPoint is one point of a serialized pWCET curve.
@@ -58,7 +57,7 @@ func newResult(pa *core.PathAnalysis) *Result {
 		PubConstructs: pa.PubReport.Constructs,
 		PubCodeGrowth: pa.PubReport.CodeGrowth(),
 		TACClasses:    len(pa.TAC.Classes),
-		MaxObserved:   stats.Max(pa.Full.Sample),
+		MaxObserved:   pa.Full.MaxObserved(),
 		analysis:      pa,
 	}
 	r.Curve = make([]PWCETPoint, len(resultProbes))
