@@ -113,10 +113,12 @@ func BenchmarkBatchVsSerial(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("serial", func(b *testing.B) {
-		an := pubtac.NewAnalyzer(cfg)
+		// WithConfig preserves cfg's worker budget, matching the retired
+		// NewAnalyzer arm: paths run serially, each campaign parallelizes.
+		one := pubtac.NewSession(pubtac.WithConfig(cfg))
 		for i := 0; i < b.N; i++ {
 			for _, j := range jobs {
-				if _, err := an.AnalyzePath(j.Program, j.Inputs[0]); err != nil {
+				if _, err := one.AnalyzePath(context.Background(), j.Program, j.Inputs[0]); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -8,6 +8,14 @@
 //	pubtac -bench bs -input v9 -scale 0.1
 //	pubtac -bench crc -multipath -progress
 //	pubtac -batch -scale 0.05 -json
+//
+// With -remote the analysis runs on a pubtacd daemon instead of in-process:
+// the request is submitted over HTTP, progress streams back as Server-Sent
+// Events, and repeated submissions are served from the daemon's
+// content-addressed result store. The daemon's configuration (scale,
+// workers, seed) applies; local simulation flags are ignored.
+//
+//	pubtac -remote http://127.0.0.1:8753 -bench bs -json
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"strings"
 
 	"pubtac"
+	"pubtac/client"
 )
 
 func main() {
@@ -37,11 +46,17 @@ func main() {
 		stream    = flag.Bool("stream", false, "bounded-memory streaming estimation (top-K reservoir + quantile sketch instead of retained samples)")
 		streamK   = flag.Int("stream-budget", 0, "streaming memory budget K (0 = default 8192); implies -stream")
 		asJSON    = flag.Bool("json", false, "emit results as JSON")
+		remote    = flag.String("remote", "", "pubtacd base URL; analyze remotely instead of in-process")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *remote != "" {
+		runRemote(ctx, *remote, *benchName, *inputName, *multipath, *batch, *progress, *asJSON)
+		return
+	}
 
 	opts := []pubtac.Option{
 		pubtac.WithScale(*scale),
@@ -59,14 +74,8 @@ func main() {
 		if *multipath || *inputName != "" {
 			log.Fatal("-batch analyzes default inputs across benchmarks; it cannot be combined with -multipath or -input")
 		}
-		benchSet := false
-		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "bench" {
-				benchSet = true
-			}
-		})
 		names := ""
-		if benchSet {
+		if flagWasSet("bench") {
 			names = *benchName
 		}
 		runBatch(ctx, s, names, *asJSON)
@@ -112,6 +121,88 @@ func main() {
 		return
 	}
 	printPath(res)
+}
+
+// runRemote runs the requested analysis on a pubtacd daemon. With -progress
+// the job is submitted asynchronously and its events stream back over SSE
+// before the stored result is fetched by content key; otherwise one waiting
+// request does it all. Cache status is reported on stderr either way.
+func runRemote(ctx context.Context, base, benchNames, inputName string, multipath, batch, progress, asJSON bool) {
+	c := client.New(base)
+	req := client.AnalyzeRequest{}
+	if batch {
+		if multipath || inputName != "" {
+			log.Fatal("-batch analyzes default inputs across benchmarks; it cannot be combined with -multipath or -input")
+		}
+		names := strings.Split(benchNames, ",")
+		if !flagWasSet("bench") {
+			names = names[:0]
+			for _, b := range pubtac.Benchmarks() {
+				names = append(names, b.Name)
+			}
+		}
+		for _, n := range names {
+			req.Jobs = append(req.Jobs, client.JobSpec{Bench: n})
+		}
+	} else {
+		req.Bench = benchNames
+		req.Input = inputName
+		req.Multipath = multipath
+	}
+
+	var body []byte
+	var cached bool
+	if progress {
+		sub, err := c.Submit(ctx, req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cached = sub.Cached
+		if !sub.Cached {
+			if err := c.Events(ctx, sub.JobID, printProgress); err != nil {
+				log.Fatal(err)
+			}
+		}
+		var found bool
+		if body, found, err = c.Result(ctx, sub.Key); err != nil {
+			log.Fatal(err)
+		} else if !found {
+			log.Fatalf("job %s completed but key %s is not in the store", sub.JobID, sub.Key)
+		}
+	} else {
+		var err error
+		if body, cached, err = c.AnalyzeRaw(ctx, req); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if cached {
+		fmt.Fprintln(os.Stderr, "  [remote] served from the daemon's result store")
+	}
+
+	if asJSON {
+		fmt.Println(string(body))
+		return
+	}
+	res, err := pubtac.DecodeBatchResult(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-12s %-10s %8s %8s %8s %10s %14s\n", "benchmark", "input", "Rpub", "Rtac", "R", "simulated", "pWCET@1e-12")
+	for _, r := range res.All() {
+		fmt.Printf("%-12s %-10s %8d %8d %8d %10d %14.0f\n",
+			r.Program, r.Input, r.RPub, r.RTac, r.R, r.RunsUsed, r.PWCET(1e-12))
+	}
+}
+
+// flagWasSet reports whether the named flag was given on the command line.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 // runBatch analyzes a set of benchmarks concurrently through the batch

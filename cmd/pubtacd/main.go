@@ -1,0 +1,102 @@
+// Command pubtacd is the resident pubtac analysis daemon: a JSON-over-HTTP
+// service over the Session API with a content-addressed, persistent result
+// store. The pipeline is a deterministic function of (program, configuration,
+// seed), so every result is cached forever under its content key — hot
+// queries are store hits served without simulation, cold ones fan out over
+// the session worker pool, and the per-item on-disk tier survives instance
+// eviction and restart.
+//
+// Endpoints:
+//
+//	POST /v1/analyze            submit (single path, multipath or batch);
+//	                            {"wait":true} responds with the result body
+//	GET  /v1/jobs/{id}          job status
+//	GET  /v1/jobs/{id}/events   progress events (Server-Sent Events)
+//	GET  /v1/results/{key}      stored result by content key
+//	GET  /v1/healthz            liveness
+//	GET  /v1/statusz            cache/job counters
+//
+// Usage:
+//
+//	pubtacd -addr 127.0.0.1:8753 -dir /var/lib/pubtac -scale 1.0
+//	pubtac -remote http://127.0.0.1:8753 -bench bs
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"pubtac"
+	"pubtac/internal/pool"
+	"pubtac/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pubtacd: ")
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8753", "listen address")
+		dir     = flag.String("dir", "pubtacd-store", "result store directory (persists across restarts)")
+		mem     = flag.Int("mem", 256, "in-memory result cache entries (LRU over the disk tier)")
+		maxJobs = flag.Int("max-jobs", 2, "concurrently computing analyses; further submissions queue")
+		scale   = flag.Float64("scale", 1.0, "campaign scale (1.0 = paper-size)")
+		workers = flag.Int("workers", 0, "simulation workers per analysis (0 = GOMAXPROCS)")
+		seed    = flag.Uint64("seed", 0, "campaign seed salt (part of every cache key)")
+		stream  = flag.Bool("stream", false, "bounded-memory streaming estimation")
+		streamK = flag.Int("stream-budget", 0, "streaming memory budget K (0 = default); implies -stream")
+	)
+	flag.Parse()
+
+	opts := []pubtac.Option{
+		pubtac.WithScale(*scale),
+		pubtac.WithWorkers(*workers),
+		pubtac.WithSeed(*seed),
+	}
+	if *stream || *streamK > 0 {
+		opts = append(opts, pubtac.WithStreamingEstimation(*streamK))
+	}
+
+	store, err := serve.NewStore(*dir, *mem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := serve.New(serve.Options{
+		Store:          store,
+		SessionOptions: opts,
+		MaxJobs:        *maxJobs,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if n, err := store.DiskLen(); err == nil {
+		log.Printf("store %s: %d persisted results", *dir, n)
+	}
+	log.Printf("config fingerprint %s (schema v%d)", srv.ConfigFingerprint(), pubtac.ResultSchemaVersion)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	grp, gctx := pool.WithContext(ctx)
+	grp.Go(func() error {
+		log.Printf("listening on http://%s", *addr)
+		return httpSrv.ListenAndServe() // http.ErrServerClosed after Shutdown
+	})
+	grp.Go(func() error {
+		<-gctx.Done() // interrupt, or ListenAndServe failed
+		srv.Close()   // cancel jobs, release SSE streams and waiters
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return httpSrv.Shutdown(sctx)
+	})
+	if err := grp.Wait(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	log.Print("shut down")
+}

@@ -1,0 +1,527 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"pubtac"
+	"pubtac/client"
+	"pubtac/internal/pool"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Store is the content-addressed result store (required).
+	Store *Store
+	// SessionOptions are applied to the session of every analysis job; they
+	// fix the daemon's pipeline configuration (scale, model, seed,
+	// streaming, workers). The resolved configuration's fingerprint is half
+	// of every cache key, so two daemons with equal session options (modulo
+	// worker counts) serve each other's stores.
+	SessionOptions []pubtac.Option
+	// MaxJobs bounds concurrently computing analyses; further submissions
+	// queue. 0 selects 2. Each job internally parallelizes across the
+	// session worker budget, so a small number keeps the machine busy.
+	MaxJobs int
+	// MaxJobHistory bounds completed jobs retained for /v1/jobs queries
+	// (their results stay addressable through the store forever). 0
+	// selects 1024.
+	MaxJobHistory int
+}
+
+// Server is the pubtacd HTTP handler: job submission over the Session API
+// with singleflight deduplication, SSE progress streams, and the two-tier
+// result store. Construct with New, serve it as an http.Handler, and Close
+// it on shutdown.
+type Server struct {
+	mux      *http.ServeMux
+	store    *Store
+	baseOpts []pubtac.Option
+	cfgFP    pubtac.Fingerprint
+	seedSalt uint64
+
+	grp    *pool.Group
+	gctx   context.Context
+	cancel context.CancelFunc
+	sem    chan struct{}
+
+	closeOnce sync.Once
+	closed    chan struct{}
+
+	maxHistory int
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	completed []string // completed job IDs, oldest first (history bound)
+	byKey     map[pubtac.Fingerprint]*job
+	nextID    int
+	computed  uint64 // analyses actually run
+	deduped   uint64 // submissions that joined an in-flight identical job
+}
+
+// job is one in-flight or completed analysis.
+type job struct {
+	id  string
+	key pubtac.Fingerprint
+
+	mu     sync.Mutex
+	events []pubtac.ProgressEvent
+	notify chan struct{} // closed and replaced on every append/finish
+	done   bool
+	body   []byte
+	errMsg string
+}
+
+// ServerStats is the /v1/statusz document.
+type ServerStats struct {
+	ConfigFingerprint string     `json:"config_fingerprint"`
+	SchemaVersion     int        `json:"schema_version"`
+	Computed          uint64     `json:"computed"`
+	Deduped           uint64     `json:"deduped"`
+	Jobs              int        `json:"jobs"`
+	Store             StoreStats `json:"store"`
+}
+
+// New builds a Server. The session options are resolved once to derive the
+// daemon's config fingerprint; every job session is built from the same
+// options plus its progress sink, so all jobs share that fingerprint.
+func New(opts Options) (*Server, error) {
+	if opts.Store == nil {
+		return nil, fmt.Errorf("serve: Options.Store is required")
+	}
+	maxJobs := opts.MaxJobs
+	if maxJobs <= 0 {
+		maxJobs = 2
+	}
+	probe := pubtac.NewSession(opts.SessionOptions...)
+	ctx, cancel := context.WithCancel(context.Background())
+	grp, gctx := pool.WithContext(ctx)
+	s := &Server{
+		mux:      http.NewServeMux(),
+		store:    opts.Store,
+		baseOpts: append([]pubtac.Option(nil), opts.SessionOptions...),
+		cfgFP:    probe.ConfigFingerprint(),
+		seedSalt: probe.Config().SeedSalt,
+		grp:      grp,
+		gctx:     gctx,
+		cancel:   cancel,
+		sem:      make(chan struct{}, maxJobs),
+		closed:   make(chan struct{}),
+		jobs:     make(map[string]*job),
+		byKey:    make(map[pubtac.Fingerprint]*job),
+	}
+	s.maxHistory = opts.MaxJobHistory
+	if s.maxHistory <= 0 {
+		s.maxHistory = 1024
+	}
+	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/statusz", s.handleStats)
+	return s, nil
+}
+
+// ConfigFingerprint returns the fingerprint of the daemon's resolved session
+// configuration (half of every cache key).
+func (s *Server) ConfigFingerprint() pubtac.Fingerprint { return s.cfgFP }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Stats returns a snapshot of the server and store counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	st := ServerStats{
+		ConfigFingerprint: s.cfgFP.String(),
+		SchemaVersion:     pubtac.ResultSchemaVersion,
+		Computed:          s.computed,
+		Deduped:           s.deduped,
+		Jobs:              len(s.jobs),
+	}
+	s.mu.Unlock()
+	st.Store = s.store.Stats()
+	return st
+}
+
+// Close stops the server: running jobs are cancelled, SSE streams and
+// waiting submissions are released, and Close blocks until every job
+// goroutine has drained. The store is left as-is (it belongs to the caller
+// and survives restarts by design).
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		s.cancel()
+	})
+	return s.grp.Wait()
+}
+
+// resolve turns a wire request into concrete analysis jobs. The two request
+// forms normalize to one job list; resolution is pure (fresh benchmark
+// instances per call), so concurrent requests share nothing.
+func resolve(req client.AnalyzeRequest) ([]pubtac.Job, error) {
+	specs := req.Jobs
+	if req.Bench != "" {
+		if len(specs) > 0 {
+			return nil, fmt.Errorf("request mixes the single-benchmark form (bench) with the batch form (jobs)")
+		}
+		spec := client.JobSpec{Bench: req.Bench, Multipath: req.Multipath}
+		if req.Input != "" {
+			if req.Multipath {
+				return nil, fmt.Errorf("input and multipath are mutually exclusive")
+			}
+			spec.Inputs = []string{req.Input}
+		}
+		specs = []client.JobSpec{spec}
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("empty request: set bench or jobs")
+	}
+	jobs := make([]pubtac.Job, 0, len(specs))
+	for _, spec := range specs {
+		b, err := pubtac.Benchmark(spec.Bench)
+		if err != nil {
+			return nil, err
+		}
+		j := pubtac.Job{Program: b.Program}
+		switch {
+		case spec.Multipath:
+			j.Inputs = b.Inputs
+		case len(spec.Inputs) > 0:
+			for _, name := range spec.Inputs {
+				in, err := b.Input(name)
+				if err != nil {
+					return nil, err
+				}
+				j.Inputs = append(j.Inputs, in)
+			}
+		default:
+			j.Inputs = []pubtac.Input{b.Default()}
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs, nil
+}
+
+// keyOf derives the request's content address under this server's
+// configuration — the same derivation a client performs with
+// pubtac.AnalysisKey.
+func (s *Server) keyOf(jobs []pubtac.Job) (pubtac.Fingerprint, error) {
+	keys := make([]pubtac.Fingerprint, len(jobs))
+	for i, j := range jobs {
+		k, err := j.Key(s.seedSalt)
+		if err != nil {
+			return pubtac.Fingerprint{}, err
+		}
+		keys[i] = k
+	}
+	return pubtac.AnalysisKey(s.cfgFP, keys...), nil
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req client.AnalyzeRequest
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading request: %v", err)
+		return
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	jobs, err := resolve(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key, err := s.keyOf(jobs)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	if body, tier, ok := s.store.Get(key); ok {
+		if req.Wait {
+			writeResult(w, key, body, "hit", tier)
+			return
+		}
+		writeJSON(w, client.SubmitResponse{
+			Key: key.String(), Cached: true, SchemaVersion: pubtac.ResultSchemaVersion,
+		})
+		return
+	}
+
+	j, joined := s.startOrJoin(key, jobs)
+	if !req.Wait {
+		writeJSON(w, client.SubmitResponse{
+			JobID: j.id, Key: key.String(), Deduped: joined,
+			SchemaVersion: pubtac.ResultSchemaVersion,
+		})
+		return
+	}
+	body2, errMsg, err := j.wait(r.Context(), s.closed)
+	switch {
+	case err != nil:
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	case errMsg != "":
+		httpError(w, http.StatusInternalServerError, "analysis failed: %s", errMsg)
+	default:
+		writeResult(w, key, body2, "miss", "")
+	}
+}
+
+// startOrJoin returns the in-flight job for key, creating and launching one
+// when none exists. joined reports that an identical submission was already
+// running — the singleflight path: concurrent identical submissions compute
+// once and all observe the same job.
+func (s *Server) startOrJoin(key pubtac.Fingerprint, jobs []pubtac.Job) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.byKey[key]; ok {
+		s.deduped++
+		return j, true
+	}
+	s.nextID++
+	j := &job{
+		id:     fmt.Sprintf("j%06d", s.nextID),
+		key:    key,
+		notify: make(chan struct{}),
+	}
+	s.jobs[j.id] = j
+	s.byKey[key] = j
+	s.computed++
+	s.grp.Go(func() error {
+		s.run(j, jobs)
+		return nil // job errors live on the job; they must not cancel the group
+	})
+	return j, false
+}
+
+// run executes one analysis job end to end: a fresh session wired to the
+// job's event log, the batch over the server's pool context, persistence,
+// and completion. Panics are contained to the job (a panicking task would
+// otherwise cancel the group and with it every other running job).
+func (s *Server) run(j *job, jobs []pubtac.Job) {
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	defer func() {
+		if r := recover(); r != nil {
+			s.finish(j, nil, fmt.Errorf("panic: %v", r))
+		}
+	}()
+	if err := s.gctx.Err(); err != nil {
+		s.finish(j, nil, err)
+		return
+	}
+	opts := append(append([]pubtac.Option(nil), s.baseOpts...), pubtac.WithProgress(j.emit))
+	session := pubtac.NewSession(opts...)
+	batch, err := session.AnalyzeBatch(s.gctx, jobs)
+	if err != nil {
+		s.finish(j, nil, err)
+		return
+	}
+	body, err := batch.JSON()
+	if err != nil {
+		s.finish(j, nil, err)
+		return
+	}
+	// A failed persist is not a failed analysis: the result is still
+	// correct and served; only its survival across restart is lost.
+	_ = s.store.Put(j.key, body)
+	s.finish(j, body, nil)
+}
+
+// finish completes the job and retires it from the singleflight table; its
+// result stays addressable through the store. Completed-job history is
+// bounded: the oldest finished jobs are dropped from /v1/jobs.
+func (s *Server) finish(j *job, body []byte, err error) {
+	j.mu.Lock()
+	j.done = true
+	j.body = body
+	if err != nil {
+		j.errMsg = err.Error()
+	}
+	close(j.notify)
+	j.mu.Unlock()
+
+	s.mu.Lock()
+	delete(s.byKey, j.key)
+	s.completed = append(s.completed, j.id)
+	for len(s.completed) > s.maxHistory {
+		delete(s.jobs, s.completed[0])
+		s.completed = s.completed[1:]
+	}
+	s.mu.Unlock()
+}
+
+// emit appends a progress event and wakes every watcher. The session
+// serializes calls, so only watchers race with it — hence the lock.
+func (j *job) emit(ev pubtac.ProgressEvent) {
+	j.mu.Lock()
+	j.events = append(j.events, ev)
+	close(j.notify)
+	j.notify = make(chan struct{})
+	j.mu.Unlock()
+}
+
+// wait blocks until the job completes, the request context is cancelled, or
+// the server closes.
+func (j *job) wait(ctx context.Context, closed <-chan struct{}) (body []byte, errMsg string, err error) {
+	for {
+		j.mu.Lock()
+		if j.done {
+			body, errMsg = j.body, j.errMsg
+			j.mu.Unlock()
+			return body, errMsg, nil
+		}
+		notify := j.notify
+		j.mu.Unlock()
+		select {
+		case <-notify:
+		case <-ctx.Done():
+			return nil, "", ctx.Err()
+		case <-closed:
+			return nil, "", fmt.Errorf("server shutting down")
+		}
+	}
+}
+
+func (s *Server) lookupJob(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.mu.Lock()
+	st := client.JobStatus{ID: j.id, Key: j.key.String(), State: "running", Events: len(j.events)}
+	if j.done {
+		st.State = "done"
+		if j.errMsg != "" {
+			st.State = "error"
+			st.Error = j.errMsg
+		}
+	}
+	j.mu.Unlock()
+	writeJSON(w, st)
+}
+
+// handleEvents streams the job's progress as Server-Sent Events: every event
+// emitted so far is replayed, then new ones stream as they arrive, and a
+// terminal "done" or "error" frame closes the stream.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	sent := 0
+	for {
+		j.mu.Lock()
+		pending := j.events[sent:]
+		done, errMsg := j.done, j.errMsg
+		notify := j.notify
+		j.mu.Unlock()
+
+		for _, ev := range pending {
+			writeSSE(w, "progress", ev)
+		}
+		sent += len(pending)
+		if done {
+			if errMsg != "" {
+				writeSSE(w, "error", map[string]string{"error": errMsg, "key": j.key.String()})
+			} else {
+				writeSSE(w, "done", map[string]string{"key": j.key.String()})
+			}
+			fl.Flush()
+			return
+		}
+		fl.Flush()
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		case <-s.closed:
+			return
+		}
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	key, err := pubtac.ParseFingerprint(r.PathValue("key"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	body, tier, ok := s.store.Get(key)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no result for key %s", key)
+		return
+	}
+	writeResult(w, key, body, "hit", tier)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Stats())
+}
+
+// writeResult serves a stored or fresh result body with the cache headers
+// the smoke tests and clients key on.
+func writeResult(w http.ResponseWriter, key pubtac.Fingerprint, body []byte, cache, tier string) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set(client.HeaderCache, cache)
+	h.Set(client.HeaderKey, key.String())
+	if tier != "" {
+		h.Set(client.HeaderTier, tier)
+	}
+	w.Write(body)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	buf, err := json.Marshal(v)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encoding response: %v", err)
+		return
+	}
+	w.Write(buf)
+}
+
+func writeSSE(w io.Writer, event string, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, buf)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}

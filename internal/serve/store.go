@@ -1,0 +1,249 @@
+// Package serve implements the analysis service behind cmd/pubtacd: a
+// content-addressed, persistent result store (this file) and an HTTP job
+// layer over the Session API (server.go).
+//
+// The store exists because the pipeline is a deterministic function of
+// (program IR, configuration, seed) — pubtac.AnalysisKey addresses the full
+// content of a batch response, so a result computed once is correct forever
+// (until the result schema version changes, which rotates every key). Two
+// tiers back that up:
+//
+//   - an in-memory LRU bounded in entries, serving hot keys without I/O;
+//   - a per-item on-disk tier, one file per key, written atomically
+//     (temp file + fsync + rename) so a crash mid-write never corrupts an
+//     existing entry and a truncated new entry is skipped on load, not
+//     fatal.
+//
+// The disk tier is what makes daemon instances survive eviction and
+// restart: environments that stop and reschedule instances (the sfcache
+// Cloud Run/Kubernetes argument) lose the memory tier but keep the volume,
+// and the next instance serves the same keys from disk on first touch.
+package serve
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"pubtac"
+)
+
+// Tier names where a store hit was served from.
+const (
+	TierMem  = "mem"
+	TierDisk = "disk"
+)
+
+// StoreStats counts store traffic since construction.
+type StoreStats struct {
+	MemHits   uint64 `json:"mem_hits"`
+	DiskHits  uint64 `json:"disk_hits"`
+	Misses    uint64 `json:"misses"`
+	Writes    uint64 `json:"writes"`
+	Evictions uint64 `json:"evictions"` // memory-tier evictions (entries stay on disk)
+	Corrupt   uint64 `json:"corrupt"`   // unreadable/mismatched disk entries skipped
+}
+
+// Store is the two-tier content-addressed result store. All methods are safe
+// for concurrent use.
+type Store struct {
+	dir string
+	cap int
+
+	mu    sync.Mutex
+	mem   map[pubtac.Fingerprint]*list.Element
+	lru   *list.List // front = most recently used
+	stats StoreStats
+}
+
+type memEntry struct {
+	key  pubtac.Fingerprint
+	body []byte
+}
+
+// NewStore opens (creating if needed) a store rooted at dir, holding up to
+// memEntries response bodies in memory (0 selects a default of 256). The
+// disk tier is unbounded; entries are a few KB each.
+func NewStore(dir string, memEntries int) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("serve: store dir must be set")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: store dir: %w", err)
+	}
+	if memEntries <= 0 {
+		memEntries = 256
+	}
+	return &Store{
+		dir: dir,
+		cap: memEntries,
+		mem: make(map[pubtac.Fingerprint]*list.Element),
+		lru: list.New(),
+	}, nil
+}
+
+// Dir returns the store's on-disk root.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns a snapshot of the store counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Get returns the stored body for key and the tier that served it. A miss —
+// including a disk entry that is truncated, unparseable or carries a foreign
+// schema version — returns ok=false; corruption is counted, never fatal
+// (the entry is simply recomputed and rewritten).
+func (s *Store) Get(key pubtac.Fingerprint) (body []byte, tier string, ok bool) {
+	s.mu.Lock()
+	if el, hit := s.mem[key]; hit {
+		s.lru.MoveToFront(el)
+		body = el.Value.(*memEntry).body
+		s.stats.MemHits++
+		s.mu.Unlock()
+		return body, TierMem, true
+	}
+	s.mu.Unlock()
+
+	body, err := os.ReadFile(s.path(key))
+	if err == nil {
+		err = checkBody(body)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.stats.Corrupt++
+		}
+		s.stats.Misses++
+		return nil, "", false
+	}
+	s.insertLocked(key, body)
+	s.stats.DiskHits++
+	return body, TierDisk, true
+}
+
+// Put stores body under key in both tiers. The disk write is atomic: the
+// body lands in a temp file in the store directory, is fsync'd, and only
+// then renamed over the final name — a crash at any point leaves either the
+// complete old entry or no entry, never a torn one. Put validates the body
+// the same way Get does, refusing to persist bytes the load path would
+// reject.
+func (s *Store) Put(key pubtac.Fingerprint, body []byte) error {
+	if err := checkBody(body); err != nil {
+		return fmt.Errorf("serve: refusing to store %s: %w", key, err)
+	}
+	if err := s.writeAtomic(key, body); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.insertLocked(key, body)
+	s.stats.Writes++
+	return nil
+}
+
+// Len returns the number of entries currently held in the memory tier.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.mem)
+}
+
+// DiskLen returns the number of well-named entries in the disk tier.
+func (s *Store) DiskLen() (int, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), entryExt) && !strings.HasPrefix(e.Name(), tmpPrefix) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+const (
+	entryExt  = ".json"
+	tmpPrefix = ".tmp-"
+)
+
+// path returns the disk location of key: one file per content hash.
+func (s *Store) path(key pubtac.Fingerprint) string {
+	return filepath.Join(s.dir, key.String()+entryExt)
+}
+
+// insertLocked puts body into the memory tier, evicting from the LRU tail
+// past capacity. Callers hold s.mu.
+func (s *Store) insertLocked(key pubtac.Fingerprint, body []byte) {
+	if el, ok := s.mem[key]; ok {
+		el.Value.(*memEntry).body = body
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.mem[key] = s.lru.PushFront(&memEntry{key: key, body: body})
+	for s.lru.Len() > s.cap {
+		tail := s.lru.Back()
+		ent := tail.Value.(*memEntry)
+		s.lru.Remove(tail)
+		delete(s.mem, ent.key)
+		s.stats.Evictions++
+	}
+}
+
+// writeAtomic lands body at the key's final path via temp file + fsync +
+// rename, fsyncing the directory afterwards so the rename itself survives a
+// crash.
+func (s *Store) writeAtomic(key pubtac.Fingerprint, body []byte) error {
+	tmp, err := os.CreateTemp(s.dir, tmpPrefix+"*")
+	if err != nil {
+		return fmt.Errorf("serve: store write: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(body); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: store write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: store fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("serve: store close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		return fmt.Errorf("serve: store rename: %w", err)
+	}
+	if d, err := os.Open(s.dir); err == nil {
+		// Directory fsync is best-effort: some filesystems refuse it, and
+		// the entry itself is already durable.
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// checkBody validates a response body the way every consumer will: it must
+// be a JSON object stamped with this build's result schema version. A
+// truncated file fails the JSON parse; an entry from an older or newer build
+// fails the version check. Both are treated as cache misses by Get.
+func checkBody(body []byte) error {
+	var env struct {
+		SchemaVersion *int `json:"schema_version"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		return fmt.Errorf("not a complete JSON document: %v", err)
+	}
+	if env.SchemaVersion == nil {
+		return fmt.Errorf("document carries no schema_version")
+	}
+	return pubtac.CheckSchemaVersion(*env.SchemaVersion)
+}

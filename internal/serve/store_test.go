@@ -1,0 +1,175 @@
+package serve_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pubtac"
+	"pubtac/internal/serve"
+)
+
+// validBody returns a minimal body the store accepts, distinguishable by tag.
+func validBody(tag string) []byte {
+	return []byte(fmt.Sprintf(`{"schema_version": %d, "jobs": [], "tag": %q}`,
+		pubtac.ResultSchemaVersion, tag))
+}
+
+func fp(b byte) pubtac.Fingerprint {
+	var f pubtac.Fingerprint
+	f[0] = b
+	return f
+}
+
+func TestStoreRoundTripAndRestart(t *testing.T) {
+	dir := t.TempDir()
+	st, err := serve.NewStore(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, body := fp(1), validBody("a")
+	if _, _, ok := st.Get(key); ok {
+		t.Fatal("hit on an empty store")
+	}
+	if err := st.Put(key, body); err != nil {
+		t.Fatal(err)
+	}
+	got, tier, ok := st.Get(key)
+	if !ok || tier != serve.TierMem || string(got) != string(body) {
+		t.Fatalf("after Put: ok=%v tier=%s body=%s", ok, tier, got)
+	}
+	if n, err := st.DiskLen(); err != nil || n != 1 {
+		t.Fatalf("disk entries = %d (%v), want 1", n, err)
+	}
+
+	// A fresh store over the same directory — the restart path — serves the
+	// entry from disk on first touch, then from memory.
+	st2, err := serve.NewStore(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, tier, ok = st2.Get(key)
+	if !ok || tier != serve.TierDisk || string(got) != string(body) {
+		t.Fatalf("after restart: ok=%v tier=%s body=%s", ok, tier, got)
+	}
+	if _, tier, _ = st2.Get(key); tier != serve.TierMem {
+		t.Fatalf("second Get after restart served from %s, want promotion to mem", tier)
+	}
+}
+
+func TestStoreLRUEvictionFallsBackToDisk(t *testing.T) {
+	st, err := serve.NewStore(t.TempDir(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(fp(1), validBody("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(fp(2), validBody("two")); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("memory tier holds %d entries past cap 1", st.Len())
+	}
+	if st.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Stats().Evictions)
+	}
+	// The evicted entry is still served — from disk — and promoted back,
+	// evicting the other in turn.
+	body, tier, ok := st.Get(fp(1))
+	if !ok || tier != serve.TierDisk || !strings.Contains(string(body), "one") {
+		t.Fatalf("evicted entry: ok=%v tier=%s body=%s", ok, tier, body)
+	}
+	if _, tier, _ := st.Get(fp(1)); tier != serve.TierMem {
+		t.Fatalf("promotion after disk hit served from %s", tier)
+	}
+}
+
+// TestStoreCorruptEntriesAreMisses: a crash mid-write leaves either a temp
+// file (never visible to Get) or, on filesystems without atomic semantics, a
+// torn entry. Both must read as cache misses, never errors.
+func TestStoreCorruptEntriesAreMisses(t *testing.T) {
+	dir := t.TempDir()
+	st, err := serve.NewStore(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := validBody("victim")
+	if err := st.Put(fp(1), full); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("entries = %v (%v)", entries, err)
+	}
+	// Simulate the torn write: truncate the entry mid-document.
+	if err := os.WriteFile(entries[0], full[:len(full)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := serve.NewStore(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := st2.Get(fp(1)); ok {
+		t.Fatal("truncated entry served as a hit")
+	}
+	if s := st2.Stats(); s.Corrupt != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v, want Corrupt=1 Misses=1", s)
+	}
+	// Recomputation overwrites the torn entry and it serves again.
+	if err := st2.Put(fp(1), full); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := st2.Get(fp(1)); !ok {
+		t.Fatal("rewritten entry not served")
+	}
+}
+
+func TestStoreRejectsForeignSchema(t *testing.T) {
+	dir := t.TempDir()
+	st, err := serve.NewStore(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Put refuses bytes the load path would reject.
+	foreign := []byte(fmt.Sprintf(`{"schema_version": %d, "jobs": []}`, pubtac.ResultSchemaVersion+1))
+	if err := st.Put(fp(1), foreign); err == nil {
+		t.Fatal("Put accepted a foreign schema version")
+	}
+	if err := st.Put(fp(1), []byte(`{"jobs": []}`)); err == nil {
+		t.Fatal("Put accepted a document without schema_version")
+	}
+	// An on-disk entry from another build (schema bumped under the store)
+	// reads as a miss.
+	name := filepath.Join(dir, fp(1).String()+".json")
+	if err := os.WriteFile(name, foreign, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := st.Get(fp(1)); ok {
+		t.Fatal("foreign-schema entry served as a hit")
+	}
+	if st.Stats().Corrupt != 1 {
+		t.Fatalf("corrupt = %d, want 1", st.Stats().Corrupt)
+	}
+}
+
+func TestStoreTempFilesInvisible(t *testing.T) {
+	dir := t.TempDir()
+	st, err := serve.NewStore(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A leftover temp file from a crashed write is not a disk entry.
+	if err := os.WriteFile(filepath.Join(dir, ".tmp-123"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(fp(1), validBody("x")); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := st.DiskLen(); err != nil || n != 1 {
+		t.Fatalf("disk entries = %d (%v), want 1 (temp file counted?)", n, err)
+	}
+}

@@ -1,0 +1,168 @@
+package pubtac_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"pubtac"
+)
+
+func TestFingerprintTextRoundTrip(t *testing.T) {
+	bench, err := pubtac.Benchmark("bs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := pubtac.FingerprintProgram(bench.Program, bench.Default(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.IsZero() {
+		t.Fatal("fingerprint of a real program is zero")
+	}
+	if l := len(fp.String()); l != 64 {
+		t.Fatalf("hex form is %d chars, want 64", l)
+	}
+	back, err := pubtac.ParseFingerprint(fp.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != fp {
+		t.Fatalf("parse(String()) = %s, want %s", back, fp)
+	}
+	// Through JSON (MarshalText/UnmarshalText).
+	buf, err := json.Marshal(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec pubtac.Fingerprint
+	if err := json.Unmarshal(buf, &dec); err != nil {
+		t.Fatal(err)
+	}
+	if dec != fp {
+		t.Fatalf("JSON round trip = %s, want %s", dec, fp)
+	}
+	for _, bad := range []string{"", "zz", fp.String()[:63], fp.String() + "00", "g" + fp.String()[1:]} {
+		if _, err := pubtac.ParseFingerprint(bad); err == nil {
+			t.Errorf("ParseFingerprint(%q) accepted", bad)
+		}
+	}
+	if !(pubtac.Fingerprint{}).IsZero() {
+		t.Error("zero fingerprint not IsZero")
+	}
+}
+
+func TestFingerprintProgramSensitivity(t *testing.T) {
+	bs, err := pubtac.Benchmark("bs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt, err := pubtac.Benchmark("cnt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := pubtac.FingerprintProgram(bs.Program, bs.Default(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic: a fresh benchmark instance fingerprints identically.
+	bs2, _ := pubtac.Benchmark("bs")
+	again, err := pubtac.FingerprintProgram(bs2.Program, bs2.Default(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != base {
+		t.Fatal("fingerprint not deterministic across benchmark instances")
+	}
+	// Sensitive to the input vector, the seed, and the program.
+	if fp, _ := pubtac.FingerprintProgram(bs.Program, bs.Inputs[1], 0); fp == base {
+		t.Error("different input, same fingerprint")
+	}
+	if fp, _ := pubtac.FingerprintProgram(bs.Program, bs.Default(), 7); fp == base {
+		t.Error("different seed, same fingerprint")
+	}
+	if fp, _ := pubtac.FingerprintProgram(cnt.Program, cnt.Default(), 0); fp == base {
+		t.Error("different program, same fingerprint")
+	}
+}
+
+func TestConfigFingerprintInvariance(t *testing.T) {
+	base := pubtac.NewSession().ConfigFingerprint()
+	if base.IsZero() {
+		t.Fatal("config fingerprint is zero")
+	}
+	// Worker counts and progress sinks don't affect results, so they must
+	// not affect the fingerprint — daemons differing only in parallelism
+	// share cached results.
+	if fp := pubtac.NewSession(pubtac.WithWorkers(3)).ConfigFingerprint(); fp != base {
+		t.Error("worker count changed the config fingerprint")
+	}
+	sink := pubtac.NewSession(pubtac.WithProgress(func(pubtac.ProgressEvent) {}))
+	if fp := sink.ConfigFingerprint(); fp != base {
+		t.Error("progress sink changed the config fingerprint")
+	}
+	// Result-affecting knobs must change it.
+	for name, s := range map[string]*pubtac.Session{
+		"scale":     pubtac.NewSession(pubtac.WithScale(0.05)),
+		"seed":      pubtac.NewSession(pubtac.WithSeed(1)),
+		"cap":       pubtac.NewSession(pubtac.WithCampaignCap(123)),
+		"streaming": pubtac.NewSession(pubtac.WithStreamingEstimation(0)),
+		"hardfail":  pubtac.NewSession(pubtac.WithIIDHardFail(true)),
+	} {
+		if fp := s.ConfigFingerprint(); fp == base {
+			t.Errorf("%s: result-affecting option left the fingerprint unchanged", name)
+		}
+	}
+}
+
+func TestJobKey(t *testing.T) {
+	bench, err := pubtac.Benchmark("bs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (pubtac.Job{}).Key(0); err == nil {
+		t.Error("nil-program job produced a key")
+	}
+	if _, err := (pubtac.Job{Program: bench.Program}).Key(0); err == nil {
+		t.Error("inputless job produced a key")
+	}
+	two := pubtac.Job{Program: bench.Program, Inputs: bench.Inputs[:2]}
+	k1, err := two.Key(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapped := pubtac.Job{Program: bench.Program,
+		Inputs: []pubtac.Input{bench.Inputs[1], bench.Inputs[0]}}
+	k2, err := swapped.Key(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k2 {
+		t.Error("input order does not affect the job key")
+	}
+}
+
+func TestAnalysisKeyOrderSensitive(t *testing.T) {
+	jobs, err := pubtac.BenchmarkJobs("bs", "crc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pubtac.NewSession().ConfigFingerprint()
+	ka, err := jobs[0].Key(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := jobs[1].Key(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pubtac.AnalysisKey(cfg, ka, kb) == pubtac.AnalysisKey(cfg, kb, ka) {
+		t.Error("job order does not affect the analysis key")
+	}
+	if pubtac.AnalysisKey(cfg, ka) == pubtac.AnalysisKey(cfg, ka, ka) {
+		t.Error("job multiplicity does not affect the analysis key")
+	}
+	other := pubtac.NewSession(pubtac.WithScale(0.05)).ConfigFingerprint()
+	if pubtac.AnalysisKey(cfg, ka) == pubtac.AnalysisKey(other, ka) {
+		t.Error("config fingerprint does not affect the analysis key")
+	}
+}

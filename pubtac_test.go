@@ -1,6 +1,7 @@
 package pubtac_test
 
 import (
+	"context"
 	"testing"
 
 	"pubtac"
@@ -16,8 +17,8 @@ func TestFacadeQuickstart(t *testing.T) {
 	cfg.MBPTA.Increment = 200
 	cfg.MBPTA.MaxRuns = 2000
 	cfg.CampaignCap = 3000
-	an := pubtac.NewAnalyzer(cfg)
-	res, err := an.AnalyzePath(bench.Program, bench.Default())
+	s := pubtac.NewSession(pubtac.WithConfig(cfg))
+	res, err := s.AnalyzePath(context.Background(), bench.Program, bench.Default())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,10 +2,39 @@ package pubtac
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 
 	"pubtac/internal/core"
 )
+
+// ResultSchemaVersion is the version of the serialized result schema,
+// stamped into every Result, MultiResult and BatchResult JSON document as
+// "schema_version". Consumers (the pubtacd result store, the remote client)
+// reject documents whose version differs from their own — a version bump
+// invalidates every cached result, which is exactly right: the bytes of the
+// document are the contract. Bump it whenever a serialized field is added,
+// removed, renamed or reinterpreted.
+const ResultSchemaVersion = 1
+
+// SchemaError reports a serialized result whose schema_version does not
+// match this build's ResultSchemaVersion.
+type SchemaError struct {
+	Got int // version found in the document
+}
+
+func (e *SchemaError) Error() string {
+	return fmt.Sprintf("pubtac: result schema version %d, this build speaks %d", e.Got, ResultSchemaVersion)
+}
+
+// CheckSchemaVersion returns a *SchemaError when v differs from this build's
+// ResultSchemaVersion, nil otherwise.
+func CheckSchemaVersion(v int) error {
+	if v != ResultSchemaVersion {
+		return &SchemaError{Got: v}
+	}
+	return nil
+}
 
 // PWCETPoint is one point of a serialized pWCET curve.
 type PWCETPoint struct {
@@ -26,6 +55,8 @@ var resultProbes = []float64{
 // in-memory analysis (estimates, samples, TAC classes) stays reachable via
 // Analysis for programmatic use and is not serialized.
 type Result struct {
+	SchemaVersion int `json:"schema_version"`
+
 	Program  string `json:"program"`
 	Input    string `json:"input"`
 	Path     string `json:"path,omitempty"`
@@ -47,6 +78,7 @@ type Result struct {
 // newResult flattens a PathAnalysis.
 func newResult(pa *core.PathAnalysis) *Result {
 	r := &Result{
+		SchemaVersion: ResultSchemaVersion,
 		Program:       pa.Program,
 		Input:         pa.Input.Name,
 		Path:          pa.Path,
@@ -109,7 +141,8 @@ func interpCurve(curve []PWCETPoint, p float64) float64 {
 // program. Per Corollary 2 every path's estimate is a reliable bound, so
 // the per-probability minimum is the bound of record.
 type MultiResult struct {
-	Results []*Result `json:"results"`
+	SchemaVersion int       `json:"schema_version"`
+	Results       []*Result `json:"results"`
 }
 
 // PWCET returns the minimum pWCET across the analyzed paths at exceedance
@@ -140,7 +173,44 @@ func (m *MultiResult) Best(p float64) *Result {
 // BatchResult is the outcome of Session.AnalyzeBatch: one MultiResult per
 // job, in job order.
 type BatchResult struct {
-	Jobs []*MultiResult `json:"jobs"`
+	SchemaVersion int            `json:"schema_version"`
+	Jobs          []*MultiResult `json:"jobs"`
+}
+
+// stampSchema fills in ResultSchemaVersion on the batch and every nested
+// result that does not carry one yet, so hand-assembled wrappers (the CLI
+// builds BatchResult literals around session results) serialize complete.
+func (b *BatchResult) stampSchema() {
+	if b.SchemaVersion == 0 {
+		b.SchemaVersion = ResultSchemaVersion
+	}
+	for _, m := range b.Jobs {
+		if m == nil {
+			continue
+		}
+		if m.SchemaVersion == 0 {
+			m.SchemaVersion = ResultSchemaVersion
+		}
+		for _, r := range m.Results {
+			if r != nil && r.SchemaVersion == 0 {
+				r.SchemaVersion = ResultSchemaVersion
+			}
+		}
+	}
+}
+
+// DecodeBatchResult decodes a serialized BatchResult and verifies that its
+// schema version matches this build's ResultSchemaVersion (a mismatch
+// returns a *SchemaError).
+func DecodeBatchResult(data []byte) (*BatchResult, error) {
+	var b BatchResult
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("pubtac: decoding batch result: %w", err)
+	}
+	if err := CheckSchemaVersion(b.SchemaVersion); err != nil {
+		return nil, err
+	}
+	return &b, nil
 }
 
 // All returns every path result across all jobs, in job then input order.
@@ -152,7 +222,9 @@ func (b *BatchResult) All() []*Result {
 	return out
 }
 
-// JSON renders the batch result as indented JSON.
+// JSON renders the batch result as indented JSON, stamping
+// ResultSchemaVersion on the batch and every nested result first.
 func (b *BatchResult) JSON() ([]byte, error) {
+	b.stampSchema()
 	return json.MarshalIndent(b, "", "  ")
 }

@@ -1,0 +1,146 @@
+package pubtac_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"pubtac"
+)
+
+func TestCheckSchemaVersion(t *testing.T) {
+	if err := pubtac.CheckSchemaVersion(pubtac.ResultSchemaVersion); err != nil {
+		t.Fatalf("current version rejected: %v", err)
+	}
+	err := pubtac.CheckSchemaVersion(pubtac.ResultSchemaVersion + 1)
+	var se *pubtac.SchemaError
+	if !errors.As(err, &se) {
+		t.Fatalf("mismatch error = %v, want *SchemaError", err)
+	}
+	if se.Got != pubtac.ResultSchemaVersion+1 {
+		t.Fatalf("SchemaError.Got = %d", se.Got)
+	}
+}
+
+// TestSchemaVersionRoundTrip serializes each result shape and verifies that
+// schema_version is stamped, survives the round trip, and gates decoding.
+func TestSchemaVersionRoundTrip(t *testing.T) {
+	bench, err := pubtac.Benchmark("bs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := pubtac.NewSession(pubtac.WithConfig(sessionTestConfig()))
+	ctx := context.Background()
+
+	t.Run("result", func(t *testing.T) {
+		res, err := s.AnalyzePath(ctx, bench.Program, bench.Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SchemaVersion != pubtac.ResultSchemaVersion {
+			t.Fatalf("fresh result version = %d", res.SchemaVersion)
+		}
+		buf, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Contains(buf, []byte(`"schema_version":`)) {
+			t.Fatal("serialized result carries no schema_version")
+		}
+		var back pubtac.Result
+		if err := json.Unmarshal(buf, &back); err != nil {
+			t.Fatal(err)
+		}
+		if err := pubtac.CheckSchemaVersion(back.SchemaVersion); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("multiresult", func(t *testing.T) {
+		m, err := s.AnalyzeMultiPath(ctx, bench.Program, bench.Inputs[:2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.SchemaVersion != pubtac.ResultSchemaVersion {
+			t.Fatalf("fresh multiresult version = %d", m.SchemaVersion)
+		}
+		buf, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back pubtac.MultiResult
+		if err := json.Unmarshal(buf, &back); err != nil {
+			t.Fatal(err)
+		}
+		if err := pubtac.CheckSchemaVersion(back.SchemaVersion); err != nil {
+			t.Fatal(err)
+		}
+		if len(back.Results) != 2 || back.Results[0].SchemaVersion != pubtac.ResultSchemaVersion {
+			t.Fatalf("nested results lost their version: %+v", back.Results)
+		}
+	})
+
+	t.Run("batchresult", func(t *testing.T) {
+		jobs := []pubtac.Job{{Program: bench.Program, Inputs: bench.Inputs[:1]}}
+		batch, err := s.AnalyzeBatch(ctx, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err := batch.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := pubtac.DecodeBatchResult(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.SchemaVersion != pubtac.ResultSchemaVersion ||
+			back.Jobs[0].SchemaVersion != pubtac.ResultSchemaVersion ||
+			back.Jobs[0].Results[0].SchemaVersion != pubtac.ResultSchemaVersion {
+			t.Fatal("schema version missing at some nesting level")
+		}
+		// A decoded result still evaluates its curve.
+		if back.All()[0].PWCET(1e-12) <= 0 {
+			t.Fatal("decoded result lost its curve")
+		}
+	})
+}
+
+func TestDecodeBatchResultRejectsForeignSchema(t *testing.T) {
+	doc := []byte(`{"schema_version": 99, "jobs": []}`)
+	_, err := pubtac.DecodeBatchResult(doc)
+	var se *pubtac.SchemaError
+	if !errors.As(err, &se) || se.Got != 99 {
+		t.Fatalf("err = %v, want *SchemaError{Got: 99}", err)
+	}
+	if _, err := pubtac.DecodeBatchResult([]byte(`{"jobs": []}`)); err == nil {
+		t.Fatal("document without schema_version accepted")
+	}
+	if _, err := pubtac.DecodeBatchResult([]byte(`{"jobs"`)); err == nil {
+		t.Fatal("truncated document accepted")
+	}
+}
+
+// TestBatchJSONStampsHandAssembled: the CLI wraps session results in
+// BatchResult literals; JSON() must stamp versions on every level.
+func TestBatchJSONStampsHandAssembled(t *testing.T) {
+	bench, err := pubtac.Benchmark("bs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := pubtac.NewSession(pubtac.WithConfig(sessionTestConfig()))
+	res, err := s.AnalyzePath(context.Background(), bench.Program, bench.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := &pubtac.BatchResult{Jobs: []*pubtac.MultiResult{{Results: []*pubtac.Result{res}}}}
+	buf, err := wrapped.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pubtac.DecodeBatchResult(buf); err != nil {
+		t.Fatalf("hand-assembled batch did not decode: %v", err)
+	}
+}

@@ -130,9 +130,9 @@ func (s *Session) AnalyzeBatch(ctx context.Context, jobs []Job) (*BatchResult, e
 	if err != nil {
 		return nil, err
 	}
-	out := &BatchResult{Jobs: make([]*MultiResult, len(analyses))}
+	out := &BatchResult{SchemaVersion: ResultSchemaVersion, Jobs: make([]*MultiResult, len(analyses))}
 	for i, paths := range analyses {
-		mr := &MultiResult{Results: make([]*Result, len(paths))}
+		mr := &MultiResult{SchemaVersion: ResultSchemaVersion, Results: make([]*Result, len(paths))}
 		for k, pa := range paths {
 			mr.Results[k] = newResult(pa)
 		}

@@ -175,14 +175,14 @@ func TestSessionBatchMatchesSerial(t *testing.T) {
 	inputs := bench.Inputs[:3]
 	cfg := sessionTestConfig()
 
-	an := pubtac.NewAnalyzer(cfg)
-	serial := make([]*pubtac.PathAnalysis, len(inputs))
+	one := pubtac.NewSession(pubtac.WithConfig(cfg), pubtac.WithWorkers(1))
+	serial := make([]*pubtac.Result, len(inputs))
 	for i, in := range inputs {
-		pa, err := an.AnalyzePath(bench.Program, in)
+		r, err := one.AnalyzePath(context.Background(), bench.Program, in)
 		if err != nil {
 			t.Fatal(err)
 		}
-		serial[i] = pa
+		serial[i] = r
 	}
 
 	s := pubtac.NewSession(pubtac.WithConfig(cfg), pubtac.WithWorkers(4))
@@ -197,8 +197,8 @@ func TestSessionBatchMatchesSerial(t *testing.T) {
 	}
 	for i, r := range got {
 		want := serial[i]
-		if r.Input != want.Input.Name {
-			t.Fatalf("result %d out of order: %s vs %s", i, r.Input, want.Input.Name)
+		if r.Input != want.Input {
+			t.Fatalf("result %d out of order: %s vs %s", i, r.Input, want.Input)
 		}
 		if r.RPub != want.RPub || r.RTac != want.RTac || r.R != want.R || r.RunsUsed != want.RunsUsed {
 			t.Errorf("%s: runs differ: batch (%d,%d,%d,%d) serial (%d,%d,%d,%d)",
