@@ -16,6 +16,13 @@
 // workers, seed) applies; local simulation flags are ignored.
 //
 //	pubtac -remote http://127.0.0.1:8753 -bench bs -json
+//
+// With -peers the analysis stays local but its campaign collection is
+// sharded across pubtacd workers running the same configuration; failed
+// shards are recomputed locally and results are bit-identical to a purely
+// local run at any peer or shard count.
+//
+//	pubtac -peers http://127.0.0.1:8761,http://127.0.0.1:8762 -bench bs
 package main
 
 import (
@@ -47,6 +54,8 @@ func main() {
 		streamK   = flag.Int("stream-budget", 0, "streaming memory budget K (0 = default 8192); implies -stream")
 		asJSON    = flag.Bool("json", false, "emit results as JSON")
 		remote    = flag.String("remote", "", "pubtacd base URL; analyze remotely instead of in-process")
+		peers     = flag.String("peers", "", "comma-separated pubtacd worker base URLs; campaign collection shards across them (results stay bit-identical)")
+		shards    = flag.Int("shards", 0, "shards per campaign range when -peers is set (0 = one per peer)")
 	)
 	flag.Parse()
 
@@ -64,6 +73,12 @@ func main() {
 	}
 	if *stream || *streamK > 0 {
 		opts = append(opts, pubtac.WithStreamingEstimation(*streamK))
+	}
+	if *peers != "" {
+		opts = append(opts, pubtac.WithPeers(client.NewPeers(strings.Split(*peers, ",")...)))
+		if *shards > 0 {
+			opts = append(opts, pubtac.WithShards(*shards))
+		}
 	}
 	if *progress {
 		opts = append(opts, pubtac.WithProgress(printProgress))

@@ -10,9 +10,11 @@
 //
 //	POST /v1/analyze            submit (single path, multipath or batch);
 //	                            {"wait":true} responds with the result body
+//	POST /v1/shards             execute one campaign shard (worker half of
+//	                            distributed sharding; see -peers)
 //	GET  /v1/jobs/{id}          job status
 //	GET  /v1/jobs/{id}/events   progress events (Server-Sent Events)
-//	GET  /v1/results/{key}      stored result by content key
+//	GET  /v1/results/{key}      stored result by content key (ETag/If-None-Match)
 //	GET  /v1/healthz            liveness
 //	GET  /v1/statusz            cache/job counters
 //
@@ -20,6 +22,16 @@
 //
 //	pubtacd -addr 127.0.0.1:8753 -dir /var/lib/pubtac -scale 1.0
 //	pubtac -remote http://127.0.0.1:8753 -bench bs
+//
+// With -peers the daemon becomes a campaign coordinator: every campaign's
+// collection is sharded across the listed workers (each running the same
+// session configuration), failed shards are recomputed locally, and the
+// merged results — and so every cache key — are bit-identical to an
+// unsharded daemon's:
+//
+//	pubtacd -addr :8761 -dir w1 &
+//	pubtacd -addr :8762 -dir w2 &
+//	pubtacd -addr :8753 -dir coord -peers http://127.0.0.1:8761,http://127.0.0.1:8762
 package main
 
 import (
@@ -29,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"pubtac"
@@ -49,6 +62,9 @@ func main() {
 		seed    = flag.Uint64("seed", 0, "campaign seed salt (part of every cache key)")
 		stream  = flag.Bool("stream", false, "bounded-memory streaming estimation")
 		streamK = flag.Int("stream-budget", 0, "streaming memory budget K (0 = default); implies -stream")
+		peers   = flag.String("peers", "", "comma-separated pubtacd worker base URLs; campaigns shard across them (results stay bit-identical)")
+		shards  = flag.Int("shards", 0, "shards per campaign range when -peers is set (0 = one per peer)")
+		quota   = flag.Int64("disk-quota", 0, "disk-tier byte quota; oldest entries evicted past it (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -65,13 +81,27 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *quota > 0 {
+		if err := store.SetDiskQuota(*quota); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var peerList []string
+	if *peers != "" {
+		peerList = strings.Split(*peers, ",")
+	}
 	srv, err := serve.New(serve.Options{
 		Store:          store,
 		SessionOptions: opts,
 		MaxJobs:        *maxJobs,
+		Peers:          peerList,
+		Shards:         *shards,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if len(peerList) > 0 {
+		log.Printf("coordinating campaigns over %d peers", len(peerList))
 	}
 	if n, err := store.DiskLen(); err == nil {
 		log.Printf("store %s: %d persisted results", *dir, n)

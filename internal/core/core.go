@@ -82,6 +82,20 @@ type Config struct {
 	// seeds), but certification-style workflows may refuse to ship a pWCET
 	// whose sample failed its own admissibility checks.
 	IIDHardFail bool
+
+	// Sharder, when non-nil, distributes campaign collection: every
+	// campaign range is split into shards dispatched through it (remote
+	// pubtacd workers, via the client package), with failed shards
+	// recomputed locally. Results are bit-identical to a purely local
+	// analysis — who computes run i never matters, only that slot i holds
+	// run i — so Sharder, like Progress and the worker counts, is excluded
+	// from the canonical encoding and shares cache keys with local runs.
+	Sharder ShardCollector
+
+	// Shards is the number of shards per campaign range when Sharder is
+	// set; 0 derives it from Sharder.Shards() (typically the peer count).
+	// Also excluded from the canonical encoding.
+	Shards int
 }
 
 // DefaultConfig returns the paper's evaluation setup.
@@ -209,6 +223,11 @@ func (a *Analyzer) analyzeOn(ctx context.Context, pubbed *program.Program, name 
 	}
 
 	root := mbpta.Seed(name+"/"+in.Name) ^ a.cfg.SeedSalt
+	if a.cfg.Sharder != nil {
+		// Both the convergence rounds and the TAC-demanded extension below
+		// collect through camp, so one SetRemote distributes them all.
+		camp.SetRemote(a.remoteCollector(name, in.Name, false, root))
+	}
 	mcfg := a.cfg.MBPTA
 	mcfg.Workers = workers
 	conv, err := camp.ConvergeCtx(ctx, mcfg, root,
@@ -362,7 +381,11 @@ func (a *Analyzer) AnalyzeOriginalCtx(ctx context.Context, p *program.Program,
 	if workers > 0 {
 		mcfg.Workers = workers
 	}
-	conv, err := mbpta.NewCampaign(res.Trace, a.cfg.Model).ConvergeCtx(ctx, mcfg, root,
+	camp := mbpta.NewCampaign(res.Trace, a.cfg.Model)
+	if a.cfg.Sharder != nil {
+		camp.SetRemote(a.remoteCollector(p.Name, in.Name, true, root))
+	}
+	conv, err := camp.ConvergeCtx(ctx, mcfg, root,
 		a.progressFn(p.Name, in.Name, "converge"))
 	if err != nil {
 		return nil, err

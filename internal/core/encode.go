@@ -23,7 +23,13 @@ const EncodingVersion = 1
 //   - worker counts (MBPTA.Workers, TAC.Workers): results are
 //     worker-count-invariant by construction (the pool is index-addressed),
 //     so sessions differing only in parallelism share cache entries;
-//   - Progress: observation only, never reaches a result.
+//   - Progress: observation only, never reaches a result;
+//   - Sharder and Shards: distributed collection is shard-count- and
+//     peer-invariant for the same index-addressed reason (failed shards
+//     fall back to bit-identical local recomputation), so a sharded
+//     coordinator, its workers and a local session all share cache keys —
+//     which is also what lets a worker verify a ShardSpec against its own
+//     fingerprint.
 //
 // IIDHardFail is included even though it never changes result values — it
 // changes whether a result exists at all (an inadmissible battery becomes an

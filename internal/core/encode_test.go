@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"reflect"
 	"testing"
 
@@ -21,7 +23,8 @@ func TestCanonicalEncodingFieldsPinned(t *testing.T) {
 		fields []string
 	}{
 		{"core.Config", reflect.TypeOf(Config{}),
-			[]string{"Model", "MBPTA", "TAC", "CampaignCap", "SeedSalt", "Progress", "IIDHardFail"}},
+			[]string{"Model", "MBPTA", "TAC", "CampaignCap", "SeedSalt", "Progress", "IIDHardFail",
+				"Sharder", "Shards"}},
 		{"mbpta.Config", reflect.TypeOf(Config{}.MBPTA),
 			[]string{"InitialRuns", "Increment", "MaxRuns", "TailCount", "StabilityEps",
 				"StabilityProb", "StableRounds", "Alpha", "Workers", "ReferenceIID",
@@ -68,6 +71,17 @@ func TestCanonicalEncodingStability(t *testing.T) {
 		t.Fatal("worker counts or progress sink leaked into the canonical encoding")
 	}
 
+	// Distributed collection is shard- and peer-invariant (index-addressed
+	// fill, bit-identical local fallback), so the sharding knobs must not
+	// reach the encoding either: coordinator, workers and local sessions
+	// share cache keys and config fingerprints.
+	cfg = DefaultConfig()
+	cfg.Shards = 9
+	cfg.Sharder = nopSharder{}
+	if !bytes.Equal(a, cfg.AppendCanonical(nil)) {
+		t.Fatal("sharding knobs leaked into the canonical encoding")
+	}
+
 	// Every encoded knob must perturb the encoding. One representative per
 	// encoded struct guards the plumbing (the pin test guards coverage).
 	perturb := []func(*Config){
@@ -87,4 +101,12 @@ func TestCanonicalEncodingStability(t *testing.T) {
 			t.Errorf("perturbation %d did not change the canonical encoding", i)
 		}
 	}
+}
+
+// nopSharder is the minimal ShardCollector for encoding tests.
+type nopSharder struct{}
+
+func (nopSharder) Shards() int { return 1 }
+func (nopSharder) CollectShard(context.Context, ShardSpec) ([]float64, error) {
+	return nil, errors.New("nop")
 }

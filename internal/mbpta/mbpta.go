@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync/atomic"
 
 	"pubtac/internal/evt"
@@ -113,7 +114,40 @@ type Campaign struct {
 	Trace    trace.Trace
 	Model    proc.Model
 	Compiled *proc.CompiledTrace
+
+	// remote, when set, collects run ranges on remote workers before the
+	// local engines fill whatever is left. See SetRemote.
+	remote RangeCollector
 }
+
+// Range is a half-open run-index interval [Lo, Hi) of a campaign.
+type Range struct {
+	Lo, Hi int
+}
+
+// RangeCollector fills dst — which holds runs offset..offset+len(dst)-1 of
+// the campaign — from somewhere other than the local engines (typically
+// remote workers executing CollectRangeCtx for sub-ranges), and returns the
+// absolute-index ranges it could NOT fill; the campaign recomputes those
+// locally. Because run i depends only on (root, i), it does not matter who
+// computes a run, only that slot i-offset ends up holding run i — which is
+// why any mix of remote and local collection stays bit-identical to a
+// purely local campaign. A RangeCollector should return an error only for
+// cancellation or conditions that invalidate the whole campaign; per-shard
+// failures are reported as leftover ranges instead (graceful degradation).
+type RangeCollector func(ctx context.Context, dst []float64, offset int) ([]Range, error)
+
+// SetRemote installs a remote range collector on the campaign: every
+// subsequent collection (Converge rounds, extensions, CollectCtx) first
+// offers the full range to rc and computes only the returned leftovers with
+// the local engines. collectLocal is the reference arm: with any rc — even
+// one that fails every shard — results are bit-identical to a campaign that
+// never left the process, which is the distributed oracle-pair contract.
+// SetRemote must be called before the campaign is shared between
+// goroutines; a nil rc restores purely local collection.
+//
+//pubtac:fastpath distributed
+func (c *Campaign) SetRemote(rc RangeCollector) { c.remote = rc }
 
 // NewCampaign compiles tr for the model once, for any number of subsequent
 // Collect/Converge/ExtendTo calls.
@@ -160,11 +194,90 @@ func (c *Campaign) CollectCtx(ctx context.Context, n int, root uint64,
 }
 
 // collectInto fills dst with runs offset..offset+len(dst)-1 of the campaign
+// rooted at root. Without a remote collector it is collectLocal; with one it
+// first offers the whole range to the remote arm and computes the returned
+// leftovers locally, which yields the same bytes either way.
+func (c *Campaign) collectInto(ctx context.Context, dst []float64, root uint64,
+	offset, workers int, progress Progress, target int) error {
+	if c.remote == nil {
+		return c.collectLocal(ctx, dst, root, offset, workers, progress, target)
+	}
+	leftover, err := c.remote(ctx, dst, offset)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		// The collector failed outright (all peers down, say): degrade to a
+		// plain local campaign — correctness never depends on the remote arm.
+		return c.collectLocal(ctx, dst, root, offset, workers, progress, target)
+	}
+	leftover = normalizeRanges(leftover, offset, offset+len(dst))
+	remoteFilled := len(dst)
+	for _, r := range leftover {
+		remoteFilled -= r.Hi - r.Lo
+	}
+	if progress != nil && remoteFilled > 0 {
+		progress(offset+remoteFilled, target)
+	}
+	// Recompute the leftovers locally, in index order. Progress stays
+	// monotone: doneBase credits the remote-filled runs and every completed
+	// leftover range, and collectLocal's per-block reports are rebased from
+	// the range-local count onto it.
+	doneBase := offset + remoteFilled
+	for _, r := range leftover {
+		sub := dst[r.Lo-offset : r.Hi-offset]
+		var p Progress
+		if progress != nil {
+			base, lo := doneBase, r.Lo
+			p = func(done, tgt int) { progress(base+(done-lo), tgt) }
+		}
+		if err := c.collectLocal(ctx, sub, root, r.Lo, workers, p, target); err != nil {
+			return err
+		}
+		doneBase += r.Hi - r.Lo
+	}
+	return nil
+}
+
+// normalizeRanges clamps ranges to [lo, hi), drops empty ones, sorts by Lo
+// and merges overlaps, so a sloppy RangeCollector cannot make collectInto
+// recompute a run twice or step outside dst.
+func normalizeRanges(rs []Range, lo, hi int) []Range {
+	out := rs[:0]
+	for _, r := range rs {
+		if r.Lo < lo {
+			r.Lo = lo
+		}
+		if r.Hi > hi {
+			r.Hi = hi
+		}
+		if r.Lo < r.Hi {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Lo < out[j].Lo })
+	merged := out[:0]
+	for _, r := range out {
+		if n := len(merged); n > 0 && r.Lo <= merged[n-1].Hi {
+			if r.Hi > merged[n-1].Hi {
+				merged[n-1].Hi = r.Hi
+			}
+			continue
+		}
+		merged = append(merged, r)
+	}
+	return merged
+}
+
+// collectLocal fills dst with runs offset..offset+len(dst)-1 of the campaign
 // rooted at root, fanning the blocks out over workers goroutines. Workers
 // pull fixed-size blocks from a shared counter, so load balances even when
 // per-run cost varies; between blocks they check ctx and report progress
 // (done counts completed runs across the whole campaign, offset included).
-func (c *Campaign) collectInto(ctx context.Context, dst []float64, root uint64,
+// It is the in-process reference arm of the distributed collection pair.
+//
+//pubtac:reference distributed
+func (c *Campaign) collectLocal(ctx context.Context, dst []float64, root uint64,
 	offset, workers int, progress Progress, target int) error {
 	n := len(dst)
 	if n == 0 {
@@ -419,15 +532,25 @@ func summaryChunk(sum stats.SampleSummary) int {
 
 // pushRuns collects the next add runs of the campaign (runs sum.N() ..
 // sum.N()+add-1, index-addressed as always) and pushes them into sum in run
-// order. Collection within each chunk fans out over workers; chunks are
-// pushed sequentially, and the chunk size is a deterministic function of the
-// summary type, so the summary state is bit-identical at any worker count.
+// order.
 func (c *Campaign) pushRuns(ctx context.Context, sum stats.SampleSummary, add int,
 	root uint64, workers int, progress Progress) error {
+	return c.pushRangeAt(ctx, sum, sum.N(), add, root, workers, progress)
+}
+
+// pushRangeAt collects runs offset..offset+add-1 of the campaign and pushes
+// them into sum in run order. Collection within each chunk fans out over
+// workers; chunks are pushed sequentially, and the chunk size is a
+// deterministic function of the summary type, so the summary state is
+// bit-identical at any worker count. Chunk boundaries are relative to the
+// pushed sequence, so a summary fed [lo, hi) here matches the [lo, hi)
+// sub-sequence of a whole-campaign summary exactly when the summary state is
+// chunking-invariant (every full summary; see CollectRangeCtx).
+func (c *Campaign) pushRangeAt(ctx context.Context, sum stats.SampleSummary,
+	offset, add int, root uint64, workers int, progress Progress) error {
 	if add <= 0 {
 		return ctx.Err()
 	}
-	offset := sum.N()
 	target := offset + add
 	chunk := summaryChunk(sum)
 	if chunk <= 0 || chunk > add {
@@ -447,6 +570,31 @@ func (c *Campaign) pushRuns(ctx context.Context, sum stats.SampleSummary, add in
 		done += m
 	}
 	return nil
+}
+
+// CollectRangeCtx collects the shard [lo, hi) of the campaign rooted at
+// root into a fresh summary built per cfg — the worker half of distributed
+// campaign sharding. Because run i depends only on (root, i), and because
+// full-summary state is a pure, chunking-invariant function of the pushed
+// run sequence, merging per-shard summaries for consecutive ranges in index
+// order reproduces the single-process summary bit-identically at any shard
+// count. (Streaming summaries are collectable here too, but their battery
+// dichotomizes per chunk from the range start, so merged streaming shards
+// are an approximation — coordinators therefore always shard with full
+// summaries and stream only the merged result if asked.) The summary is
+// collected with cfg.Workers local workers; the campaign's remote collector
+// is deliberately not consulted, so a worker can never re-shard its shard.
+func (c *Campaign) CollectRangeCtx(ctx context.Context, cfg Config, lo, hi int,
+	root uint64, progress Progress) (stats.SampleSummary, error) {
+	if lo < 0 || hi < lo {
+		return nil, fmt.Errorf("mbpta: invalid run range [%d, %d)", lo, hi)
+	}
+	local := &Campaign{Trace: c.Trace, Model: c.Model, Compiled: c.Compiled}
+	sum := NewSummary(cfg)
+	if err := local.pushRangeAt(ctx, sum, lo, hi-lo, root, cfg.Workers, progress); err != nil {
+		return nil, err
+	}
+	return sum, nil
 }
 
 // ExtendSummaryCtx grows a campaign summary to target runs, collecting and

@@ -6,11 +6,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 
 	"pubtac"
 	"pubtac/client"
+	"pubtac/internal/mbpta"
 	"pubtac/internal/pool"
+	"pubtac/internal/stats"
 )
 
 // Options configures a Server.
@@ -31,6 +34,15 @@ type Options struct {
 	// (their results stay addressable through the store forever). 0
 	// selects 1024.
 	MaxJobHistory int
+	// Peers makes this daemon a campaign coordinator: every analysis
+	// campaign is sharded across these pubtacd base URLs (each serving
+	// POST /v1/shards under the SAME session configuration), with failed
+	// shards recomputed locally. Results — and therefore cache keys — are
+	// bit-identical to an unsharded daemon.
+	Peers []string
+	// Shards is the shard count per campaign range when Peers is set
+	// (0 = one shard per peer).
+	Shards int
 }
 
 // Server is the pubtacd HTTP handler: job submission over the Session API
@@ -41,8 +53,18 @@ type Server struct {
 	mux      *http.ServeMux
 	store    *Store
 	baseOpts []pubtac.Option
+	cfg      pubtac.Config // resolved session config (shard verification)
 	cfgFP    pubtac.Fingerprint
 	seedSalt uint64
+
+	// Worker side of distributed sharding: shardSem bounds concurrently
+	// computing shards (same budget as jobs), shardCamps caches compiled
+	// campaigns per (program, input, original) so repeated shard rounds of
+	// one campaign pay trace compilation once. The key space is the
+	// benchmark registry — small and fixed — so the cache is unbounded.
+	shardSem   chan struct{}
+	shardMu    sync.Mutex
+	shardCamps map[string]*mbpta.Campaign
 
 	grp    *pool.Group
 	gctx   context.Context
@@ -61,6 +83,7 @@ type Server struct {
 	nextID    int
 	computed  uint64 // analyses actually run
 	deduped   uint64 // submissions that joined an in-flight identical job
+	shards    uint64 // campaign shards served via POST /v1/shards
 }
 
 // job is one in-flight or completed analysis.
@@ -82,6 +105,7 @@ type ServerStats struct {
 	SchemaVersion     int        `json:"schema_version"`
 	Computed          uint64     `json:"computed"`
 	Deduped           uint64     `json:"deduped"`
+	Shards            uint64     `json:"shards"`
 	Jobs              int        `json:"jobs"`
 	Store             StoreStats `json:"store"`
 }
@@ -98,27 +122,42 @@ func New(opts Options) (*Server, error) {
 		maxJobs = 2
 	}
 	probe := pubtac.NewSession(opts.SessionOptions...)
+	// Coordinator mode: shard campaigns across the peers. The sharding
+	// options ride on top of the session options but never reach the config
+	// fingerprint (sharded results are bit-identical to local ones), so a
+	// coordinator, its workers and a plain daemon all share cache keys.
+	baseOpts := append([]pubtac.Option(nil), opts.SessionOptions...)
+	if len(opts.Peers) > 0 {
+		baseOpts = append(baseOpts, pubtac.WithPeers(client.NewPeers(opts.Peers...)))
+		if opts.Shards > 0 {
+			baseOpts = append(baseOpts, pubtac.WithShards(opts.Shards))
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	grp, gctx := pool.WithContext(ctx)
 	s := &Server{
-		mux:      http.NewServeMux(),
-		store:    opts.Store,
-		baseOpts: append([]pubtac.Option(nil), opts.SessionOptions...),
-		cfgFP:    probe.ConfigFingerprint(),
-		seedSalt: probe.Config().SeedSalt,
-		grp:      grp,
-		gctx:     gctx,
-		cancel:   cancel,
-		sem:      make(chan struct{}, maxJobs),
-		closed:   make(chan struct{}),
-		jobs:     make(map[string]*job),
-		byKey:    make(map[pubtac.Fingerprint]*job),
+		mux:        http.NewServeMux(),
+		store:      opts.Store,
+		baseOpts:   baseOpts,
+		cfg:        probe.Config(),
+		cfgFP:      probe.ConfigFingerprint(),
+		seedSalt:   probe.Config().SeedSalt,
+		grp:        grp,
+		gctx:       gctx,
+		cancel:     cancel,
+		sem:        make(chan struct{}, maxJobs),
+		shardSem:   make(chan struct{}, maxJobs),
+		shardCamps: make(map[string]*mbpta.Campaign),
+		closed:     make(chan struct{}),
+		jobs:       make(map[string]*job),
+		byKey:      make(map[pubtac.Fingerprint]*job),
 	}
 	s.maxHistory = opts.MaxJobHistory
 	if s.maxHistory <= 0 {
 		s.maxHistory = 1024
 	}
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/shards", s.handleShard)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
@@ -142,6 +181,7 @@ func (s *Server) Stats() ServerStats {
 		SchemaVersion:     pubtac.ResultSchemaVersion,
 		Computed:          s.computed,
 		Deduped:           s.deduped,
+		Shards:            s.shards,
 		Jobs:              len(s.jobs),
 	}
 	s.mu.Unlock()
@@ -468,10 +508,148 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// maxShardRuns bounds one shard's run range: a coordinator never needs more
+// (campaign caps are far smaller), so anything larger is a malformed or
+// hostile spec, refused before it can pin a worker for hours.
+const maxShardRuns = 1 << 22
+
+// handleShard is the worker half of distributed campaign sharding: it
+// recomputes the spec's run range — run i depends only on (root, i), so the
+// bytes are exactly what the coordinator would have computed locally — and
+// replies with the wire-encoded full summary. Specs are verified against
+// this daemon's own configuration (fingerprint and seed derivation) before
+// a single run is simulated: a worker must refuse work it would compute
+// differently, because the coordinator trusts accepted shards bit for bit.
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading request: %v", err)
+		return
+	}
+	var spec pubtac.ShardSpec
+	if err := json.Unmarshal(body, &spec); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding shard spec: %v", err)
+		return
+	}
+	if spec.Config != s.cfgFP.String() {
+		httpError(w, http.StatusConflict,
+			"shard config fingerprint %s does not match this daemon's %s", spec.Config, s.cfgFP)
+		return
+	}
+	if spec.Lo < 0 || spec.Hi < spec.Lo || spec.Runs() > maxShardRuns {
+		httpError(w, http.StatusBadRequest, "invalid run range [%d, %d)", spec.Lo, spec.Hi)
+		return
+	}
+	if want := mbpta.Seed(spec.Program+"/"+spec.Input) ^ s.seedSalt; spec.Root != want {
+		httpError(w, http.StatusConflict,
+			"shard root %d is not this daemon's root for %s(%s)", spec.Root, spec.Program, spec.Input)
+		return
+	}
+	camp, err := s.campaignFor(spec)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+
+	select {
+	case s.shardSem <- struct{}{}:
+		defer func() { <-s.shardSem }()
+	case <-r.Context().Done():
+		return
+	case <-s.closed:
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(s.gctx, cancel)
+	defer stop()
+
+	// Shards always collect into a full summary (raw-sample transport):
+	// full-summary state is chunking-invariant, so the coordinator's merge
+	// is bit-identical in every estimation mode, streaming included. The
+	// one-shot reference battery is selected because the battery never
+	// ships — only the sample does.
+	wcfg := s.cfg.MBPTA
+	wcfg.Streaming = false
+	wcfg.ReferenceIID = true
+	sum, err := camp.CollectRangeCtx(ctx, wcfg, spec.Lo, spec.Hi, spec.Root, nil)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "collecting shard: %v", err)
+		return
+	}
+	enc, err := stats.EncodeSummary(sum)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encoding shard summary: %v", err)
+		return
+	}
+	s.mu.Lock()
+	s.shards++
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(enc)
+}
+
+// campaignFor resolves and compiles the campaign a shard spec names,
+// caching it per (program, input, original): repeated shard rounds of one
+// campaign — every convergence round produces a fresh round of specs — pay
+// benchmark resolution, PUB and trace compilation once.
+func (s *Server) campaignFor(spec pubtac.ShardSpec) (*mbpta.Campaign, error) {
+	origin := "pub"
+	if spec.Original {
+		origin = "orig"
+	}
+	ck := spec.Program + "\x00" + spec.Input + "\x00" + origin
+	s.shardMu.Lock()
+	camp, ok := s.shardCamps[ck]
+	s.shardMu.Unlock()
+	if ok {
+		return camp, nil
+	}
+
+	b, err := pubtac.Benchmark(spec.Program)
+	if err != nil {
+		return nil, err
+	}
+	p := b.Program
+	if !spec.Original {
+		if p, _, err = pubtac.Transform(p); err != nil {
+			return nil, fmt.Errorf("PUB on %s: %w", spec.Program, err)
+		}
+	}
+	in, err := b.Input(spec.Input)
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.Exec(in)
+	if err != nil {
+		return nil, fmt.Errorf("executing %s(%s): %w", spec.Program, spec.Input, err)
+	}
+	camp = mbpta.NewCampaign(res.Trace, s.cfg.Model)
+
+	s.shardMu.Lock()
+	if cached, ok := s.shardCamps[ck]; ok {
+		camp = cached // a concurrent request built it first; share theirs
+	} else {
+		s.shardCamps[ck] = camp
+	}
+	s.shardMu.Unlock()
+	return camp, nil
+}
+
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	key, err := pubtac.ParseFingerprint(r.PathValue("key"))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The key IS the content hash, so it doubles as a strong ETag: a client
+	// (or federating peer) holding any body for it holds the current one.
+	if etagMatch(r.Header.Get("If-None-Match"), etagFor(key)) {
+		h := w.Header()
+		h.Set("ETag", etagFor(key))
+		h.Set(client.HeaderKey, key.String())
+		w.WriteHeader(http.StatusNotModified)
 		return
 	}
 	body, tier, ok := s.store.Get(key)
@@ -480,6 +658,28 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeResult(w, key, body, "hit", tier)
+}
+
+// etagFor returns the strong ETag of a stored result: the quoted content
+// key. Content addressing makes revalidation trivial — bodies for one key
+// never change (schema rotations rotate the key itself).
+func etagFor(key pubtac.Fingerprint) string { return `"` + key.String() + `"` }
+
+// etagMatch reports whether an If-None-Match header matches the ETag:
+// either the wildcard or any listed entity tag, weak validators included
+// (content addressing makes weak and strong comparison coincide).
+func etagMatch(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "W/")
+		if part == "*" || part == etag {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -496,6 +696,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func writeResult(w http.ResponseWriter, key pubtac.Fingerprint, body []byte, cache, tier string) {
 	h := w.Header()
 	h.Set("Content-Type", "application/json")
+	h.Set("ETag", etagFor(key))
 	h.Set(client.HeaderCache, cache)
 	h.Set(client.HeaderKey, key.String())
 	if tier != "" {

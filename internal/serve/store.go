@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 
@@ -46,6 +47,10 @@ type StoreStats struct {
 	Writes    uint64 `json:"writes"`
 	Evictions uint64 `json:"evictions"` // memory-tier evictions (entries stay on disk)
 	Corrupt   uint64 `json:"corrupt"`   // unreadable/mismatched disk entries skipped
+	// DiskEvictions counts disk-tier entries removed to stay under the
+	// byte quota (SetDiskQuota); evicted keys are recomputed on next touch,
+	// exactly like corrupt entries.
+	DiskEvictions uint64 `json:"disk_evictions"`
 }
 
 // Store is the two-tier content-addressed result store. All methods are safe
@@ -58,6 +63,21 @@ type Store struct {
 	mem   map[pubtac.Fingerprint]*list.Element
 	lru   *list.List // front = most recently used
 	stats StoreStats
+
+	// Disk-tier byte quota (0 = unbounded). diskOrder tracks entries
+	// oldest-write-first; eviction removes from the front. The memory tier
+	// is deliberately untouched by disk eviction — a hot entry keeps
+	// serving from memory even after its disk copy was reclaimed, it just
+	// no longer survives a restart.
+	quota     int64
+	diskBytes int64
+	diskOrder []diskEnt
+}
+
+// diskEnt is one disk-tier entry in the eviction queue.
+type diskEnt struct {
+	key  pubtac.Fingerprint
+	size int64
 }
 
 type memEntry struct {
@@ -88,6 +108,96 @@ func NewStore(dir string, memEntries int) (*Store, error) {
 
 // Dir returns the store's on-disk root.
 func (s *Store) Dir() string { return s.dir }
+
+// SetDiskQuota bounds the disk tier to quota bytes of entry bodies
+// (0 disables the bound). It scans the existing tier — oldest modification
+// time first, ties broken by name — seeds the eviction queue, and evicts
+// immediately if the tier is already over quota. Subsequent Puts evict the
+// oldest entries as needed; the newest entry is always kept, even when it
+// alone exceeds the quota (a store that rejects the result it just computed
+// would turn every request into a recompute).
+func (s *Store) SetDiskQuota(quota int64) error {
+	type scanned struct {
+		ent  diskEnt
+		mod  int64
+		name string
+	}
+	var found []scanned
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("serve: disk quota scan: %w", err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, entryExt) || strings.HasPrefix(name, tmpPrefix) {
+			continue
+		}
+		key, err := pubtac.ParseFingerprint(strings.TrimSuffix(name, entryExt))
+		if err != nil {
+			continue // foreign file; never managed, never evicted
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		found = append(found, scanned{
+			ent:  diskEnt{key: key, size: info.Size()},
+			mod:  info.ModTime().UnixNano(),
+			name: name,
+		})
+	}
+	sort.Slice(found, func(i, j int) bool {
+		if found[i].mod != found[j].mod {
+			return found[i].mod < found[j].mod
+		}
+		return found[i].name < found[j].name
+	})
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.quota = quota
+	s.diskOrder = s.diskOrder[:0]
+	s.diskBytes = 0
+	for _, f := range found {
+		s.diskOrder = append(s.diskOrder, f.ent)
+		s.diskBytes += f.ent.size
+	}
+	s.evictDiskLocked()
+	return nil
+}
+
+// noteWriteLocked records a disk write of size bytes under key in the
+// eviction queue (moving a rewritten key to the newest slot) and evicts past
+// the quota. Callers hold s.mu; a no-op while no quota is set.
+func (s *Store) noteWriteLocked(key pubtac.Fingerprint, size int64) {
+	if s.quota <= 0 {
+		return
+	}
+	for i, ent := range s.diskOrder {
+		if ent.key == key {
+			s.diskBytes -= ent.size
+			s.diskOrder = append(s.diskOrder[:i], s.diskOrder[i+1:]...)
+			break
+		}
+	}
+	s.diskOrder = append(s.diskOrder, diskEnt{key: key, size: size})
+	s.diskBytes += size
+	s.evictDiskLocked()
+}
+
+// evictDiskLocked removes oldest-written disk entries until the tier fits
+// the quota, always keeping at least the newest entry. Callers hold s.mu.
+func (s *Store) evictDiskLocked() {
+	for s.quota > 0 && s.diskBytes > s.quota && len(s.diskOrder) > 1 {
+		ent := s.diskOrder[0]
+		s.diskOrder = s.diskOrder[1:]
+		s.diskBytes -= ent.size
+		if err := os.Remove(s.path(ent.key)); err != nil && !os.IsNotExist(err) {
+			continue // the bytes are still gone from our accounting; recount on next SetDiskQuota
+		}
+		s.stats.DiskEvictions++
+	}
+}
 
 // Stats returns a snapshot of the store counters.
 func (s *Store) Stats() StoreStats {
@@ -145,6 +255,7 @@ func (s *Store) Put(key pubtac.Fingerprint, body []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.insertLocked(key, body)
+	s.noteWriteLocked(key, int64(len(body)))
 	s.stats.Writes++
 	return nil
 }

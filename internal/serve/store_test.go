@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"pubtac"
 	"pubtac/internal/serve"
@@ -153,6 +154,145 @@ func TestStoreRejectsForeignSchema(t *testing.T) {
 	}
 	if st.Stats().Corrupt != 1 {
 		t.Fatalf("corrupt = %d, want 1", st.Stats().Corrupt)
+	}
+}
+
+// TestStoreDiskQuotaEvictsOldest: under a byte quota, Puts evict
+// oldest-written entries first; evicted keys read as plain misses and the
+// counter reports the reclaim.
+func TestStoreDiskQuotaEvictsOldest(t *testing.T) {
+	dir := t.TempDir()
+	// Memory tier of 1 so evicted disk entries aren't masked by memory hits.
+	st, err := serve.NewStore(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := int64(len(validBody("t0")))
+	if err := st.SetDiskQuota(2 * unit); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := st.Put(fp(byte(i)), validBody(fmt.Sprintf("t%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Three equal-size entries under a two-entry quota: the first write is
+	// the oldest, gone; the last two fit.
+	if n, err := st.DiskLen(); err != nil || n != 2 {
+		t.Fatalf("disk entries = %d (%v), want 2", n, err)
+	}
+	if got := st.Stats().DiskEvictions; got != 1 {
+		t.Fatalf("disk evictions = %d, want 1", got)
+	}
+	if _, _, ok := st.Get(fp(1)); ok {
+		t.Fatal("evicted entry served as a hit")
+	}
+	for i := 2; i <= 3; i++ {
+		if body, _, ok := st.Get(fp(byte(i))); !ok || !strings.Contains(string(body), fmt.Sprintf("t%d", i)) {
+			t.Fatalf("surviving entry %d: ok=%v body=%s", i, ok, body)
+		}
+	}
+}
+
+// TestStoreDiskQuotaKeepsNewest: a quota smaller than a single entry still
+// keeps the newest one — a store that rejects the result it just computed
+// would turn every request into a recompute.
+func TestStoreDiskQuotaKeepsNewest(t *testing.T) {
+	st, err := serve.NewStore(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetDiskQuota(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(fp(1), validBody("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(fp(2), validBody("second")); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := st.DiskLen(); err != nil || n != 1 {
+		t.Fatalf("disk entries = %d (%v), want exactly the newest", n, err)
+	}
+	if _, _, ok := st.Get(fp(2)); !ok {
+		t.Fatal("newest entry evicted under a tiny quota")
+	}
+}
+
+// TestStoreDiskQuotaScansExisting: SetDiskQuota on a populated directory
+// seeds its queue from the files on disk (oldest modification first) and
+// evicts immediately when the tier is already over quota.
+func TestStoreDiskQuotaScansExisting(t *testing.T) {
+	dir := t.TempDir()
+	st, err := serve.NewStore(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var unit int64
+	for i := 1; i <= 4; i++ {
+		body := validBody(fmt.Sprintf("t%d", i))
+		unit = int64(len(body))
+		if err := st.Put(fp(byte(i)), body); err != nil {
+			t.Fatal(err)
+		}
+		name := filepath.Join(dir, fp(byte(i)).String()+".json")
+		// Pin distinct mtimes so the scan's oldest-first order is the write
+		// order even on coarse filesystem clocks.
+		mt := time.Unix(1700000000+int64(i), 0)
+		if err := os.Chtimes(name, mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A restarted daemon applies the quota to what it finds on disk.
+	st2, err := serve.NewStore(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.SetDiskQuota(2 * unit); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := st2.DiskLen(); err != nil || n != 2 {
+		t.Fatalf("disk entries after scan = %d (%v), want 2", n, err)
+	}
+	if st2.Stats().DiskEvictions != 2 {
+		t.Fatalf("disk evictions = %d, want 2", st2.Stats().DiskEvictions)
+	}
+	for i, want := range map[byte]bool{1: false, 2: false, 3: true, 4: true} {
+		if _, _, ok := st2.Get(fp(i)); ok != want {
+			t.Fatalf("entry %d present=%v after scan eviction, want %v", i, ok, want)
+		}
+	}
+}
+
+// TestStoreDiskQuotaLeavesMemoryTier: disk eviction never touches the memory
+// tier — a hot entry keeps serving from memory, it just no longer survives a
+// restart.
+func TestStoreDiskQuotaLeavesMemoryTier(t *testing.T) {
+	dir := t.TempDir()
+	st, err := serve.NewStore(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetDiskQuota(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(fp(1), validBody("hot")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(fp(2), validBody("new")); err != nil {
+		t.Fatal(err)
+	}
+	// fp(1)'s disk copy is gone, but the memory tier still serves it.
+	if body, tier, ok := st.Get(fp(1)); !ok || tier != serve.TierMem || !strings.Contains(string(body), "hot") {
+		t.Fatalf("evicted-from-disk entry: ok=%v tier=%s body=%s", ok, tier, body)
+	}
+	// After a restart it is genuinely gone.
+	st2, err := serve.NewStore(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := st2.Get(fp(1)); ok {
+		t.Fatal("disk-evicted entry survived a restart")
 	}
 }
 

@@ -1,0 +1,186 @@
+package stats
+
+import (
+	"bytes"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// newSummary builds one summary per arm so every wire test covers both.
+func wireArms() map[string]func() SampleSummary {
+	return map[string]func() SampleSummary{
+		"full":           func() SampleSummary { return NewFullSummary(false) },
+		"full/increment": func() SampleSummary { return NewFullSummary(true) },
+		"streaming":      func() SampleSummary { return NewStreamingSummary(256) },
+	}
+}
+
+// sameSummary asserts that two summaries are observationally identical:
+// every view query, the battery report, and — the strongest check — the wire
+// encoding itself, byte for byte.
+func sameSummary(t *testing.T, label string, a, b SampleSummary) {
+	t.Helper()
+	sameView(t, label, a, b)
+	if a.IID() != b.IID() {
+		t.Fatalf("%s: IID report %+v != %+v", label, a.IID(), b.IID())
+	}
+	ea, errA := EncodeSummary(a)
+	eb, errB := EncodeSummary(b)
+	if errA != nil || errB != nil {
+		t.Fatalf("%s: re-encode errors %v / %v", label, errA, errB)
+	}
+	if !bytes.Equal(ea, eb) {
+		t.Fatalf("%s: re-encoded bytes differ (%d vs %d bytes)", label, len(ea), len(eb))
+	}
+}
+
+// The fundamental wire contract: decode(encode(s)) is observationally
+// bit-identical to s, for both summary arms, and the decoded summary stays
+// live — pushing the same continuation into both sides keeps them equal.
+func TestSummaryWireRoundTrip(t *testing.T) {
+	xs := gapSample(3, 4000)
+	head, cont := xs[:2500], xs[2500:]
+	for name, mk := range wireArms() {
+		t.Run(name, func(t *testing.T) {
+			orig := mk()
+			pushBlocks(orig, head, 64)
+			enc, err := EncodeSummary(orig)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			dec, err := DecodeSummary(enc)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if orig.PeakBytes() != dec.PeakBytes() {
+				t.Fatalf("PeakBytes %d != %d", orig.PeakBytes(), dec.PeakBytes())
+			}
+			sameSummary(t, "decoded", orig, dec)
+			// Decoded summaries are live, not read-only snapshots.
+			pushBlocks(orig, cont, 64)
+			pushBlocks(dec, cont, 64)
+			sameSummary(t, "decoded+pushed", orig, dec)
+		})
+	}
+}
+
+// Merging decoded shard summaries in index order must reproduce the
+// single-summary result, and parenthesization must not matter:
+// (A+B)+C == A+(B+C) == one summary over the concatenation.
+func TestSummaryWireMergeAssociativity(t *testing.T) {
+	xs := gapSample(9, 6000)
+	cuts := []int{0, 2100, 4200, len(xs)}
+	for name, mk := range wireArms() {
+		t.Run(name, func(t *testing.T) {
+			whole := mk()
+			pushBlocks(whole, xs, 128)
+
+			// Three shard summaries, each round-tripped through the wire.
+			var parts []SampleSummary
+			for i := 0; i+1 < len(cuts); i++ {
+				p := mk()
+				pushBlocks(p, xs[cuts[i]:cuts[i+1]], 128)
+				enc, err := EncodeSummary(p)
+				if err != nil {
+					t.Fatalf("encode part %d: %v", i, err)
+				}
+				dec, err := DecodeSummary(enc)
+				if err != nil {
+					t.Fatalf("decode part %d: %v", i, err)
+				}
+				parts = append(parts, dec)
+			}
+
+			left := parts[0]
+			if err := left.Merge(parts[1]); err != nil {
+				t.Fatalf("left merge AB: %v", err)
+			}
+			if err := left.Merge(parts[2]); err != nil {
+				t.Fatalf("left merge (AB)C: %v", err)
+			}
+			sameView(t, "(A+B)+C vs whole", left, whole)
+			if name != "streaming" {
+				// The full battery is chunking-invariant, so merged shards
+				// reproduce the whole-sample report exactly. The streaming
+				// battery's per-shard dichotomization is the documented
+				// approximation — the reason campaign sharding ships raw
+				// full-mode samples instead of merging streaming batteries.
+				if left.IID() != whole.IID() {
+					t.Fatalf("(A+B)+C IID %+v != whole %+v", left.IID(), whole.IID())
+				}
+			}
+		})
+	}
+}
+
+// Foreign versions, foreign magic, unknown kinds, truncation and trailing
+// garbage must all be rejected — never misdecoded.
+func TestSummaryWireRejectsForeign(t *testing.T) {
+	sum := NewFullSummary(true)
+	sum.Push(gridSample(1, 500))
+	enc, err := EncodeSummary(sum)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+
+	mutants := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("NOPE"), enc[4:]...),
+		"foreign version": func() []byte {
+			b := bytes.Clone(enc)
+			b[4] = byte(SummaryWireVersion + 1)
+			return b
+		}(),
+		"unknown kind": func() []byte {
+			b := bytes.Clone(enc)
+			b[12] = 0x7f
+			return b
+		}(),
+		"truncated": enc[:len(enc)-5],
+		"trailing":  append(bytes.Clone(enc), 0),
+		"forged length": func() []byte {
+			// Sample-length word pointing far past the buffer.
+			b := bytes.Clone(enc[:22])
+			return append(b, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f)
+		}(),
+	}
+	for name, b := range mutants {
+		if _, err := DecodeSummary(b); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		}
+	}
+}
+
+// The wire encoding serializes unexported state field by field, so any field
+// added to these structs silently vanishes from the wire unless this list —
+// and SummaryWireVersion — is updated. Same discipline as
+// TestCanonicalEncodingFieldsPinned for core.AppendCanonical.
+func TestSummaryWireFieldsPinned(t *testing.T) {
+	pinned := map[reflect.Type][]string{
+		reflect.TypeOf(FullSummary{}):      {"sample", "sorted", "iid", "peak"},
+		reflect.TypeOf(StreamingSummary{}): {"budget", "n", "min", "max", "tailSorted", "sketch", "iid", "peak"},
+		reflect.TypeOf(QuantileSketch{}):   {"budget", "step", "vals", "counts", "n"},
+		reflect.TypeOf(IIDState{}): {
+			"series", "n", "stream", "sketch",
+			"firstCap", "firstRuns",
+			"shift", "sum", "sumSq", "cross",
+			"head", "window",
+			"runsMed", "hasMed", "scanned", "n1", "n2", "runs", "lastSign", "firstSign",
+			"firstSorted", "half",
+		},
+	}
+	for typ, want := range pinned {
+		var got []string
+		for i := 0; i < typ.NumField(); i++ {
+			got = append(got, typ.Field(i).Name)
+		}
+		sort.Strings(got)
+		wantSorted := append([]string(nil), want...)
+		sort.Strings(wantSorted)
+		if !reflect.DeepEqual(got, wantSorted) {
+			t.Errorf("%s fields changed:\n  got  %v\n  want %v\nupdate the wire encoding (and bump SummaryWireVersion) before updating this list",
+				typ.Name(), got, wantSorted)
+		}
+	}
+}

@@ -119,6 +119,27 @@ func WithStreamingEstimation(budget int) Option {
 	}
 }
 
+// WithPeers installs a shard collector: every campaign's collection is
+// split into shards dispatched through sc — typically client.NewPeers over
+// a set of pubtacd workers — with failed shards recomputed locally, so a
+// dead or misconfigured peer degrades throughput, never results. Sharded
+// results are bit-identical to local ones (run i depends only on the
+// campaign root and i, and the fill is index-addressed), which is why the
+// sharding knobs do not enter config fingerprints or cache keys. A nil sc
+// restores purely local collection.
+func WithPeers(sc ShardCollector) Option {
+	return func(s *sessionSettings) { s.cfg.Sharder = sc }
+}
+
+// WithShards sets how many shards each campaign range is split into when a
+// shard collector is installed (0, the default, asks the collector —
+// typically the peer count). More shards than peers overlaps transfer with
+// compute and shrinks the cost of a shard failing over to local
+// recomputation; the results are identical at any shard count.
+func WithShards(n int) Option {
+	return func(s *sessionSettings) { s.cfg.Shards = n }
+}
+
 // WithIIDHardFail promotes the i.i.d. admissibility warning to a hard
 // failure: analyses whose sample fails the battery (runs, Ljung-Box,
 // Kolmogorov-Smirnov at the configured Alpha) return an error wrapping

@@ -90,6 +90,15 @@ type TACAnalysis = tac.Analysis
 // Estimate is a fitted pWCET model with diagnostics.
 type Estimate = mbpta.Estimate
 
+// ShardSpec names one campaign shard for remote execution: the analysis
+// config fingerprint, the program path, the campaign root and a half-open
+// run range. See WithPeers.
+type ShardSpec = core.ShardSpec
+
+// ShardCollector executes campaign shards somewhere else — the client
+// package implements it over a pool of pubtacd peers. See WithPeers.
+type ShardCollector = core.ShardCollector
+
 // DefaultConfig returns the paper's evaluation setup: 4KB 2-way 32B-line
 // IL1/DL1 with random placement and replacement, MBPTA-CV estimation, and
 // TAC with a 10^-9 miss probability.
