@@ -18,8 +18,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"pubtac"
 )
@@ -99,9 +102,68 @@ type Client struct {
 	HTTP *http.Client
 }
 
-// New returns a client for the daemon at baseURL.
-func New(baseURL string) *Client {
-	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+// Option configures a Client; see New.
+type Option func(*Client)
+
+// WithHTTPClient replaces the underlying *http.Client wholesale. It wins
+// over every other transport option.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.HTTP = hc }
+}
+
+// WithTransport replaces the underlying transport (keeping the default
+// client around it) — the hook the fault injector's RoundTripper plugs into.
+func WithTransport(rt http.RoundTripper) Option {
+	return func(c *Client) {
+		if c.HTTP == nil {
+			c.HTTP = defaultHTTPClient()
+		}
+		c.HTTP.Transport = rt
+	}
+}
+
+// WithHTTPTimeout bounds each whole HTTP exchange (connection, headers and
+// body) at d. The default is unbounded because two core calls are long-lived
+// by design — a waiting /v1/analyze holds its response until the campaign
+// finishes, and /v1/jobs/{id}/events streams SSE frames indefinitely — so an
+// overall timeout is opt-in; connection setup is always bounded (see New).
+func WithHTTPTimeout(d time.Duration) Option {
+	return func(c *Client) {
+		if c.HTTP == nil {
+			c.HTTP = defaultHTTPClient()
+		}
+		c.HTTP.Timeout = d
+	}
+}
+
+// New returns a client for the daemon at baseURL. Unlike the zero
+// http.Client, the default client bounds connection setup (10s dial, 10s TLS
+// handshake) so a black-holed peer fails the dial instead of hanging a
+// campaign forever; response duration stays unbounded for the streaming
+// endpoints — bound it per call via ctx, WithHTTPTimeout, or the peer
+// fabric's per-attempt timeouts.
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{BaseURL: strings.TrimRight(baseURL, "/"), HTTP: defaultHTTPClient()}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// defaultHTTPClient builds New's sane-default client: bounded connection
+// setup, pooled keep-alive connections sized for hedged shard fan-out.
+func defaultHTTPClient() *http.Client {
+	return &http.Client{Transport: &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   10 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		TLSHandshakeTimeout: 10 * time.Second,
+		MaxIdleConns:        64,
+		MaxIdleConnsPerHost: 16,
+		IdleConnTimeout:     90 * time.Second,
+	}}
 }
 
 func (c *Client) http() *http.Client {
@@ -330,8 +392,52 @@ func readOK(resp *http.Response) ([]byte, error) {
 	return body, nil
 }
 
+// StatusError is the typed error for every non-2xx daemon reply; the peer
+// fabric's retry classification keys on it. It wraps nothing — the status
+// code IS the cause.
+type StatusError struct {
+	// Code is the HTTP status code.
+	Code int
+	// Method and Path identify the failed call.
+	Method, Path string
+	// Msg is the server's (truncated) error body.
+	Msg string
+	// RetryAfter is the parsed Retry-After header (0 when absent): the
+	// server's explicit backoff request on 429/503 load-shed replies.
+	RetryAfter time.Duration
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("client: %s %s: HTTP %d: %s", e.Method, e.Path, e.Code, e.Msg)
+}
+
+// Temporary reports whether retrying the same request later (or on another
+// peer) can plausibly succeed: load sheds (429), server errors (5xx) and
+// timeouts (408) are temporary; everything else 4xx — bad requests, foreign
+// config fingerprints, missing resources — is a property of the request
+// itself and will fail identically everywhere.
+func (e *StatusError) Temporary() bool {
+	switch {
+	case e.Code == http.StatusTooManyRequests, e.Code == http.StatusRequestTimeout:
+		return true
+	case e.Code >= 500:
+		return true
+	}
+	return false
+}
+
 func statusError(resp *http.Response) error {
 	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-	return fmt.Errorf("client: %s %s: %s: %s",
-		resp.Request.Method, resp.Request.URL.Path, resp.Status, strings.TrimSpace(string(msg)))
+	se := &StatusError{
+		Code:   resp.StatusCode,
+		Method: resp.Request.Method,
+		Path:   resp.Request.URL.Path,
+		Msg:    strings.TrimSpace(string(msg)),
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			se.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return se
 }

@@ -1,0 +1,525 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pubtac"
+	"pubtac/internal/fault"
+	"pubtac/internal/pool"
+	"pubtac/internal/rng"
+)
+
+// Clock is the time seam the fabric schedules against: wall time in
+// production (fault.Real), injected time in tests (fault.Fake). It is
+// declared structurally so the fault package's implementations satisfy it
+// without this package re-exporting them.
+type Clock interface {
+	Now() time.Time
+	Sleep(ctx context.Context, d time.Duration) error
+	After(d time.Duration) (<-chan time.Time, func() bool)
+}
+
+// RetryPolicy tunes the peer fabric. The zero value of any field selects
+// that field's default (see DefaultRetryPolicy); AttemptTimeout and
+// HedgeDelay additionally accept a negative value meaning "disabled".
+type RetryPolicy struct {
+	// MaxAttempts bounds how many times one shard is dispatched before the
+	// fabric gives up and the coordinator's local fallback recomputes it.
+	// Each hedged race counts as one attempt.
+	MaxAttempts int
+	// BaseBackoff and MaxBackoff shape the capped exponential backoff
+	// between attempts. The realized wait is equal-jittered: uniformly in
+	// [d/2, d] for the deterministic exponential d, drawn from a seeded
+	// generator so a given fabric replays a given backoff schedule.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// AttemptTimeout bounds each dispatch to one peer; expired attempts
+	// count as peer failures and are retried. Negative disables.
+	AttemptTimeout time.Duration
+	// HedgeDelay is how long the primary dispatch runs alone before the
+	// same shard is raced on a second peer; the first valid full summary
+	// wins and the loser is cancelled. Zero or negative disables hedging.
+	HedgeDelay time.Duration
+	// Seed drives backoff jitter. Jitter only decorrelates retry storms —
+	// it never reaches result bytes — but seeding it keeps the whole
+	// fabric replayable alongside the fault injector's schedule.
+	Seed uint64
+	// BreakerThreshold consecutive failures open a peer's circuit breaker;
+	// the peer is skipped until BreakerCooldown elapses, then a single
+	// half-open probe decides whether it closes again.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+}
+
+// DefaultRetryPolicy is the fabric's starting point: three attempts, 50ms
+// base backoff capped at 2s, 5m per-attempt timeout, hedging off (opt in
+// via WithHedgeDelay — it spends duplicate work for tail latency), breaker
+// at 5 consecutive failures with a 5s cooldown.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts:      3,
+		BaseBackoff:      50 * time.Millisecond,
+		MaxBackoff:       2 * time.Second,
+		AttemptTimeout:   5 * time.Minute,
+		HedgeDelay:       0,
+		BreakerThreshold: 5,
+		BreakerCooldown:  5 * time.Second,
+	}
+}
+
+// normalize fills zero fields with defaults and resolves the negative
+// "disabled" sentinels.
+func (p RetryPolicy) normalize() RetryPolicy {
+	def := DefaultRetryPolicy()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = def.MaxAttempts
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = def.BaseBackoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = def.MaxBackoff
+	}
+	if p.AttemptTimeout == 0 {
+		p.AttemptTimeout = def.AttemptTimeout
+	} else if p.AttemptTimeout < 0 {
+		p.AttemptTimeout = 0
+	}
+	if p.HedgeDelay < 0 {
+		p.HedgeDelay = 0
+	}
+	if p.BreakerThreshold <= 0 {
+		p.BreakerThreshold = def.BreakerThreshold
+	}
+	if p.BreakerCooldown <= 0 {
+		p.BreakerCooldown = def.BreakerCooldown
+	}
+	return p
+}
+
+// PeersConfig configures NewFabric beyond the peer URLs.
+type PeersConfig struct {
+	// Policy tunes retries, hedging and breakers; zero fields default.
+	Policy RetryPolicy
+	// Clock is the time source; nil means wall time (fault.Real).
+	Clock Clock
+	// Transport, when non-nil, replaces every peer client's HTTP transport
+	// — the hook chaos testing plugs the fault injector into.
+	Transport http.RoundTripper
+}
+
+// Peers is a pubtac.ShardCollector over a set of pubtacd workers — the
+// resilient peer fabric. Each shard is dispatched with per-attempt
+// timeouts, capped exponential backoff with seeded jitter between
+// attempts, fail-fast classification of permanent errors (foreign config
+// fingerprints, malformed ranges), per-peer circuit breakers, and optional
+// hedged dispatch that races a straggling primary against a second peer.
+//
+// None of this machinery can affect result bytes: workers return raw
+// per-run samples for fixed run ranges, so whichever peer answers — first
+// attempt, third retry, or hedge winner — the shard's bytes are identical,
+// and anything the fabric cannot deliver falls back to bit-identical local
+// recomputation in the coordinator. Peers is safe for concurrent use; the
+// zero value has no peers and fails every shard.
+type Peers struct {
+	peers  []*peer
+	policy RetryPolicy
+	clock  Clock
+	next   atomic.Uint64
+
+	jmu  sync.Mutex
+	jrng *rng.SplitMix64
+
+	retries      atomic.Uint64
+	hedges       atomic.Uint64
+	hedgeWins    atomic.Uint64
+	failFast     atomic.Uint64
+	breakerOpens atomic.Uint64
+}
+
+// NewPeers returns a fabric with the default policy over the given daemon
+// base URLs; empty strings are skipped.
+func NewPeers(urls ...string) *Peers {
+	return NewFabric(PeersConfig{}, urls...)
+}
+
+// NewFabric returns a configured fabric over the given daemon base URLs;
+// empty strings are skipped.
+func NewFabric(cfg PeersConfig, urls ...string) *Peers {
+	if cfg.Clock == nil {
+		cfg.Clock = fault.Real{}
+	}
+	p := &Peers{
+		policy: cfg.Policy.normalize(),
+		clock:  cfg.Clock,
+	}
+	p.jrng = rng.NewSplitMix64(rng.Mix64(p.policy.Seed ^ 0x70656572666162)) // "peerfab"
+	for _, u := range urls {
+		if u == "" {
+			continue
+		}
+		var opts []Option
+		if cfg.Transport != nil {
+			opts = append(opts, WithTransport(cfg.Transport))
+		}
+		p.peers = append(p.peers, &peer{c: New(u, opts...)})
+	}
+	return p
+}
+
+// TuneRetry adjusts the fabric after construction: attempts > 0 replaces
+// MaxAttempts, hedge >= 0 replaces HedgeDelay (0 disables hedging); a
+// negative value leaves the field untouched. It is the hook pubtac's
+// WithPeerRetry and WithHedgeDelay options reach the fabric through
+// without the session depending on this package's types.
+func (p *Peers) TuneRetry(attempts int, hedge time.Duration) {
+	if attempts > 0 {
+		p.policy.MaxAttempts = attempts
+	}
+	if hedge >= 0 {
+		p.policy.HedgeDelay = hedge
+	}
+}
+
+// Shards suggests one shard per peer when the session does not pin a count.
+func (p *Peers) Shards() int { return len(p.peers) }
+
+// FabricStats is a point-in-time snapshot of the fabric's behavior,
+// surfaced by pubtacd's /v1/statusz.
+type FabricStats struct {
+	// Retries counts re-dispatches after a failed attempt.
+	Retries uint64 `json:"retries"`
+	// Hedges counts hedged (raced) dispatches; HedgeWins counts the races
+	// the hedge won.
+	Hedges    uint64 `json:"hedges"`
+	HedgeWins uint64 `json:"hedge_wins"`
+	// FailFast counts shards abandoned without retry on permanent errors.
+	FailFast uint64 `json:"fail_fast"`
+	// BreakerOpens counts closed/half-open -> open breaker transitions.
+	BreakerOpens uint64 `json:"breaker_opens"`
+	// Peers reports each peer's breaker state in configuration order.
+	Peers []PeerStats `json:"peers,omitempty"`
+}
+
+// PeerStats is one peer's health in a FabricStats snapshot.
+type PeerStats struct {
+	URL string `json:"url"`
+	// Breaker is "closed", "open" or "half-open".
+	Breaker string `json:"breaker"`
+	// ConsecutiveFails is the current failure streak feeding the breaker.
+	ConsecutiveFails int `json:"consecutive_fails"`
+}
+
+// Stats snapshots the fabric's counters and per-peer breaker states.
+func (p *Peers) Stats() FabricStats {
+	st := FabricStats{
+		Retries:      p.retries.Load(),
+		Hedges:       p.hedges.Load(),
+		HedgeWins:    p.hedgeWins.Load(),
+		FailFast:     p.failFast.Load(),
+		BreakerOpens: p.breakerOpens.Load(),
+	}
+	for _, pr := range p.peers {
+		pr.mu.Lock()
+		st.Peers = append(st.Peers, PeerStats{
+			URL:              pr.c.BaseURL,
+			Breaker:          pr.state.String(),
+			ConsecutiveFails: pr.fails,
+		})
+		pr.mu.Unlock()
+	}
+	return st
+}
+
+// errAllPeersOpen is retryable: breakers cool down on their own.
+var errAllPeersOpen = errors.New("client: every peer's circuit breaker is open")
+
+// CollectShard dispatches the shard through the fabric. It returns the
+// shard's runs from the first attempt that yields a valid full summary, or
+// the first error once the attempt budget is spent — at which point the
+// coordinator's local fallback owns the range.
+func (p *Peers) CollectShard(ctx context.Context, spec pubtac.ShardSpec) ([]float64, error) {
+	if len(p.peers) == 0 {
+		return nil, fmt.Errorf("client: no shard peers configured")
+	}
+	var lastErr error
+	for attempt := 0; attempt < p.policy.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if attempt > 0 {
+			p.retries.Add(1)
+			if err := p.clock.Sleep(ctx, p.backoffFor(attempt-1, lastErr)); err != nil {
+				return nil, err
+			}
+		}
+		runs, err := p.attempt(ctx, spec)
+		if err == nil {
+			return runs, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if permanentErr(err) {
+			p.failFast.Add(1)
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// attemptResult carries one dispatch's outcome back to the racing select.
+type attemptResult struct {
+	runs   []float64
+	err    error
+	hedged bool
+}
+
+// attempt runs one (possibly hedged) dispatch round: the primary peer
+// starts immediately; if a hedge delay is configured and the primary has
+// neither answered nor failed when it elapses, the same spec races on a
+// second peer and the first valid summary wins, cancelling the loser.
+func (p *Peers) attempt(ctx context.Context, spec pubtac.ShardSpec) ([]float64, error) {
+	primary := p.pick(nil)
+	if primary == nil {
+		return nil, errAllPeersOpen
+	}
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	g, _ := pool.WithContext(actx)
+	results := make(chan attemptResult, 2) // buffered: a loser's send never blocks
+	launch := func(pr *peer, hedged bool) {
+		g.Go(func() error {
+			runs, err := p.dispatch(actx, pr, spec)
+			results <- attemptResult{runs: runs, err: err, hedged: hedged}
+			return nil
+		})
+	}
+	launch(primary, false)
+	inFlight := 1
+
+	var hedgeCh <-chan time.Time
+	if p.policy.HedgeDelay > 0 && len(p.peers) > 1 {
+		ch, stop := p.clock.After(p.policy.HedgeDelay)
+		defer stop()
+		hedgeCh = ch
+	}
+
+	var firstErr error
+	for inFlight > 0 {
+		select {
+		case res := <-results:
+			inFlight--
+			if res.err == nil {
+				if res.hedged {
+					p.hedgeWins.Add(1)
+				}
+				cancel()
+				g.Wait()
+				return res.runs, nil
+			}
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			if permanentErr(res.err) {
+				cancel()
+				g.Wait()
+				return nil, res.err
+			}
+			// The hedge failed while the primary is still silent. Waiting
+			// out a potential straggler on the strength of a dead hedge is
+			// how attempts pin themselves to the attempt timeout; fail the
+			// round instead and let the retry loop re-dispatch — backoff,
+			// fresh peer pick — while this round's racers are cancelled.
+			if res.hedged && inFlight > 0 {
+				cancel()
+				g.Wait()
+				return nil, firstErr
+			}
+		case <-hedgeCh:
+			hedgeCh = nil
+			if sec := p.pick(primary); sec != nil {
+				p.hedges.Add(1)
+				launch(sec, true)
+				inFlight++
+			}
+		case <-ctx.Done():
+			cancel()
+			g.Wait()
+			return nil, ctx.Err()
+		}
+	}
+	g.Wait()
+	return nil, firstErr
+}
+
+// dispatch sends the shard to one peer under the per-attempt timeout and
+// feeds the outcome to its breaker — unless the race was already decided
+// and this dispatch cancelled, which says nothing about the peer's health.
+func (p *Peers) dispatch(ctx context.Context, pr *peer, spec pubtac.ShardSpec) ([]float64, error) {
+	cctx := ctx
+	if p.policy.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		cctx, cancel = context.WithTimeout(ctx, p.policy.AttemptTimeout)
+		defer cancel()
+	}
+	runs, err := pr.c.CollectShard(cctx, spec)
+	if err != nil && ctx.Err() != nil {
+		pr.releaseProbe() // cancelled race loser: no verdict on the peer
+		return nil, err
+	}
+	p.record(pr, err)
+	return runs, err
+}
+
+// pick returns the next healthy peer after the round-robin cursor,
+// skipping exclude (the hedge never races a peer against itself) and any
+// peer whose breaker refuses admission. nil means no peer is available
+// right now — a retryable condition, since breakers cool down.
+func (p *Peers) pick(exclude *peer) *peer {
+	n := len(p.peers)
+	if n == 0 {
+		return nil
+	}
+	now := p.clock.Now()
+	start := int((p.next.Add(1) - 1) % uint64(n))
+	for i := 0; i < n; i++ {
+		pr := p.peers[(start+i)%n]
+		if pr == exclude {
+			continue
+		}
+		if pr.admit(now) {
+			return pr
+		}
+	}
+	return nil
+}
+
+// record feeds one attempt outcome to the peer's breaker.
+func (p *Peers) record(pr *peer, err error) {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if err == nil {
+		pr.state = breakerClosed
+		pr.fails = 0
+		pr.probing = false
+		return
+	}
+	pr.fails++
+	if pr.state == breakerHalfOpen || pr.fails >= p.policy.BreakerThreshold {
+		if pr.state != breakerOpen {
+			p.breakerOpens.Add(1)
+		}
+		pr.state = breakerOpen
+		pr.openUntil = p.clock.Now().Add(p.policy.BreakerCooldown)
+		pr.probing = false
+	}
+}
+
+// backoffFor is the wait before retry number retry (0-based): capped
+// exponential with seeded equal jitter, floored by any Retry-After the
+// server sent — a shedding server's explicit request outranks our guess.
+func (p *Peers) backoffFor(retry int, lastErr error) time.Duration {
+	if retry > 16 {
+		retry = 16 // cap the shift well before overflow
+	}
+	d := p.policy.BaseBackoff << uint(retry)
+	if d > p.policy.MaxBackoff || d <= 0 {
+		d = p.policy.MaxBackoff
+	}
+	p.jmu.Lock()
+	j := p.jrng.Next()
+	p.jmu.Unlock()
+	if half := d / 2; half > 0 {
+		d = half + time.Duration(j%uint64(half+1))
+	}
+	var se *StatusError
+	if errors.As(lastErr, &se) && se.RetryAfter > d {
+		d = se.RetryAfter
+	}
+	return d
+}
+
+// permanentErr reports whether retrying err — later or on another peer —
+// is pointless: non-temporary HTTP statuses (409 foreign fingerprint, 400
+// malformed range, ...) describe the request, not the peer, and a
+// cancelled parent context means nobody wants the answer anymore. Network
+// failures, 5xx, 429 sheds, timeouts and undecodable summaries (corrupt or
+// truncated wire bytes) all stay retryable.
+func permanentErr(err error) bool {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return !se.Temporary()
+	}
+	return errors.Is(err, context.Canceled)
+}
+
+// peer is one worker endpoint plus its circuit breaker.
+type peer struct {
+	c *Client
+
+	mu        sync.Mutex
+	state     breakerState
+	fails     int       // consecutive failures
+	openUntil time.Time // when an open breaker may half-open
+	probing   bool      // a half-open probe is in flight
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// admit decides whether the peer may serve a dispatch right now: closed
+// breakers always admit, open ones refuse until the cooldown elapses, and
+// a half-open breaker admits exactly one probe at a time.
+func (pr *peer) admit(now time.Time) bool {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	switch pr.state {
+	case breakerOpen:
+		if now.Before(pr.openUntil) {
+			return false
+		}
+		pr.state = breakerHalfOpen
+		pr.probing = true
+		return true
+	case breakerHalfOpen:
+		if pr.probing {
+			return false
+		}
+		pr.probing = true
+		return true
+	}
+	return true
+}
+
+// releaseProbe returns a half-open admission slot without a verdict, for
+// dispatches cancelled by the race rather than failed by the peer.
+func (pr *peer) releaseProbe() {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if pr.state == breakerHalfOpen {
+		pr.probing = false
+	}
+}

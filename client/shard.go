@@ -3,7 +3,6 @@ package client
 import (
 	"context"
 	"fmt"
-	"sync/atomic"
 
 	"pubtac"
 	"pubtac/internal/stats"
@@ -38,54 +37,4 @@ func (c *Client) CollectShard(ctx context.Context, spec pubtac.ShardSpec) ([]flo
 			spec.Program, spec.Input, spec.Lo, spec.Hi, fs.N(), spec.Runs())
 	}
 	return fs.Sample(), nil
-}
-
-// Peers is a pubtac.ShardCollector over a set of pubtacd workers: each
-// shard starts on a round-robin-chosen peer and fails over through the
-// remaining peers before giving up (at which point the coordinator's local
-// fallback recomputes it). Peers is safe for concurrent use; the zero value
-// has no peers and fails every shard.
-type Peers struct {
-	clients []*Client
-	next    atomic.Uint64
-}
-
-// NewPeers returns a collector over the given daemon base URLs; empty
-// strings are skipped.
-func NewPeers(urls ...string) *Peers {
-	p := &Peers{}
-	for _, u := range urls {
-		if u != "" {
-			p.clients = append(p.clients, New(u))
-		}
-	}
-	return p
-}
-
-// Shards suggests one shard per peer when the session does not pin a count.
-func (p *Peers) Shards() int { return len(p.clients) }
-
-// CollectShard dispatches the shard, trying every peer once starting from
-// the round-robin cursor. The cursor only balances load — which peer
-// computes a shard never affects its bytes.
-func (p *Peers) CollectShard(ctx context.Context, spec pubtac.ShardSpec) ([]float64, error) {
-	n := len(p.clients)
-	if n == 0 {
-		return nil, fmt.Errorf("client: no shard peers configured")
-	}
-	start := int((p.next.Add(1) - 1) % uint64(n))
-	var firstErr error
-	for i := 0; i < n; i++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		runs, err := p.clients[(start+i)%n].CollectShard(ctx, spec)
-		if err == nil {
-			return runs, nil
-		}
-		if firstErr == nil {
-			firstErr = err
-		}
-	}
-	return nil, firstErr
 }

@@ -56,6 +56,8 @@ func main() {
 		remote    = flag.String("remote", "", "pubtacd base URL; analyze remotely instead of in-process")
 		peers     = flag.String("peers", "", "comma-separated pubtacd worker base URLs; campaign collection shards across them (results stay bit-identical)")
 		shards    = flag.Int("shards", 0, "shards per campaign range when -peers is set (0 = one per peer)")
+		peerRetry = flag.Int("peer-retry", 0, "dispatch attempts per shard before local fallback (0 = fabric default, 3)")
+		hedge     = flag.Duration("hedge-delay", 0, "race an unanswered shard on a second peer after this long (0 = off)")
 	)
 	flag.Parse()
 
@@ -78,6 +80,12 @@ func main() {
 		opts = append(opts, pubtac.WithPeers(client.NewPeers(strings.Split(*peers, ",")...)))
 		if *shards > 0 {
 			opts = append(opts, pubtac.WithShards(*shards))
+		}
+		if *peerRetry > 0 {
+			opts = append(opts, pubtac.WithPeerRetry(*peerRetry))
+		}
+		if *hedge > 0 {
+			opts = append(opts, pubtac.WithHedgeDelay(*hedge))
 		}
 	}
 	if *progress {

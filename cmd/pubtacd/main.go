@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"pubtac"
+	"pubtac/internal/fault"
 	"pubtac/internal/pool"
 	"pubtac/internal/serve"
 )
@@ -65,6 +66,12 @@ func main() {
 		peers   = flag.String("peers", "", "comma-separated pubtacd worker base URLs; campaigns shard across them (results stay bit-identical)")
 		shards  = flag.Int("shards", 0, "shards per campaign range when -peers is set (0 = one per peer)")
 		quota   = flag.Int64("disk-quota", 0, "disk-tier byte quota; oldest entries evicted past it (0 = unbounded)")
+
+		peerRetry = flag.Int("peer-retry", 0, "dispatch attempts per shard before local fallback (0 = fabric default, 3)")
+		hedge     = flag.Duration("hedge-delay", 0, "race an unanswered shard on a second peer after this long (0 = off)")
+		deadline  = flag.Duration("shard-deadline", 10*time.Minute, "per-shard compute budget for POST /v1/shards; over-budget shards fail with 503 (0 = none)")
+		chaos     = flag.String("chaos", "", `fault-inject outbound peer calls, e.g. "drop=150,fail=100,corrupt=80,truncate=50,delay=100:5ms" (per-mille rates; testing only)`)
+		chaosSeed = flag.Uint64("chaos-seed", 1, "seed for the -chaos injection schedule (same seed, same schedule)")
 	)
 	flag.Parse()
 
@@ -90,12 +97,25 @@ func main() {
 	if *peers != "" {
 		peerList = strings.Split(*peers, ",")
 	}
+	var peerTransport http.RoundTripper
+	if *chaos != "" {
+		spec, err := fault.ParseSpec(*chaos, *chaosSeed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		peerTransport = fault.New(spec).RoundTripper(nil, nil)
+		log.Printf("CHAOS: injecting faults into outbound peer calls (%s, seed %d)", *chaos, *chaosSeed)
+	}
 	srv, err := serve.New(serve.Options{
 		Store:          store,
 		SessionOptions: opts,
 		MaxJobs:        *maxJobs,
 		Peers:          peerList,
 		Shards:         *shards,
+		PeerRetry:      *peerRetry,
+		HedgeDelay:     *hedge,
+		PeerTransport:  peerTransport,
+		ShardDeadline:  *deadline,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,117 @@
+package fault
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// RoundTripper wraps next (nil selects http.DefaultTransport) with the
+// injector's schedule. The request identity is (method, path, body), so a
+// retried or hedged attempt of the same logical operation is a new
+// occurrence of the same identity and walks the same per-identity schedule
+// regardless of how attempts to other operations interleave.
+//
+// Faults are injected client-side, above the real transport: Drop and
+// Straggle happen before the wire, Fail synthesizes a response without
+// forwarding, Delay sleeps on clock before forwarding, and Truncate/Corrupt
+// mangle the already-received body — exactly the failure surface a resilient
+// client must classify, with none of the nondeterminism of provoking real
+// network faults.
+func (inj *Injector) RoundTripper(clock Clock, next http.RoundTripper) http.RoundTripper {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	if clock == nil {
+		clock = Real{}
+	}
+	return &roundTripper{inj: inj, clock: clock, next: next}
+}
+
+type roundTripper struct {
+	inj   *Injector
+	clock Clock
+	next  http.RoundTripper
+}
+
+func (rt *roundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	dec := rt.inj.Decide(identifyRequest(req))
+	switch dec.Kind {
+	case Drop:
+		return nil, fmt.Errorf("fault: injected connection drop (%s %s)", req.Method, req.URL.Path)
+	case Straggle:
+		<-req.Context().Done()
+		return nil, req.Context().Err()
+	case Fail:
+		status := rt.inj.FailStatus()
+		body := fmt.Sprintf("fault: injected %d", status)
+		resp := &http.Response{
+			StatusCode: status,
+			Status:     fmt.Sprintf("%d %s", status, http.StatusText(status)),
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:        http.Header{"Content-Type": []string{"text/plain"}},
+			Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}
+		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+			resp.Header.Set("Retry-After", "1")
+		}
+		return resp, nil
+	case Delay:
+		if err := rt.clock.Sleep(req.Context(), dec.Latency); err != nil {
+			return nil, err
+		}
+	}
+	resp, err := rt.next.RoundTrip(req)
+	if err != nil || resp.Body == nil {
+		return resp, err
+	}
+	switch dec.Kind {
+	case Truncate:
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		// Keep a deterministic strict prefix: always at least one byte
+		// short, never empty unless the body was.
+		keep := 0
+		if len(body) > 0 {
+			keep = int(dec.Aux % uint64(len(body)))
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(body[:keep]))
+		resp.ContentLength = int64(keep)
+	case Corrupt:
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		if len(body) > 0 {
+			body[dec.Aux%uint64(len(body))] ^= 0x55
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(body))
+		resp.ContentLength = int64(len(body))
+	}
+	return resp, nil
+}
+
+// identifyRequest folds the request's method, path and body into a schedule
+// identity. The body is read through GetBody when available (requests built
+// by http.NewRequest from an in-memory reader always have it), so POSTs to
+// one endpoint with different payloads — different shards, say — get
+// independent schedules.
+func identifyRequest(req *http.Request) uint64 {
+	parts := [][]byte{[]byte(req.Method), []byte(req.URL.Path)}
+	if req.GetBody != nil {
+		if rc, err := req.GetBody(); err == nil {
+			if body, err := io.ReadAll(rc); err == nil {
+				parts = append(parts, body)
+			}
+			rc.Close()
+		}
+	}
+	return Identify(parts...)
+}

@@ -1,0 +1,57 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+)
+
+// ErrNoSpace is the injected disk-full error (ENOSPC's failure shape
+// without depending on a real full filesystem).
+var ErrNoSpace = fmt.Errorf("fault: injected no space left on device")
+
+// Writer wraps w with the schedule decision for the next occurrence of id
+// (use Identify over the store key). One decision governs the whole wrapped
+// writer's lifetime:
+//
+//   - Drop: every Write fails immediately with ErrNoSpace — the volume was
+//     already full.
+//   - Fail: the first Write writes roughly half the bytes through, then
+//     fails with ErrNoSpace — the volume filled mid-entry.
+//   - Truncate: the first Write writes roughly half the bytes, reports the
+//     short count with a NIL error — the io.Writer contract violation real
+//     filesystems commit under memory pressure; callers that don't check n
+//     corrupt their tier silently.
+//   - anything else: writes pass through untouched.
+func (inj *Injector) Writer(id uint64, w io.Writer) io.Writer {
+	dec := inj.Decide(id)
+	return &faultWriter{w: w, dec: dec}
+}
+
+type faultWriter struct {
+	w     io.Writer
+	dec   Decision
+	wrote bool
+}
+
+func (fw *faultWriter) Write(p []byte) (int, error) {
+	switch fw.dec.Kind {
+	case Drop:
+		return 0, ErrNoSpace
+	case Fail:
+		if !fw.wrote {
+			fw.wrote = true
+			n, err := fw.w.Write(p[:len(p)/2])
+			if err != nil {
+				return n, err
+			}
+			return n, ErrNoSpace
+		}
+		return 0, ErrNoSpace
+	case Truncate:
+		if !fw.wrote {
+			fw.wrote = true
+			return fw.w.Write(p[:len(p)/2])
+		}
+	}
+	return fw.w.Write(p)
+}

@@ -13,17 +13,20 @@ import (
 )
 
 // defaultScope matches the packages whose code can reach a published
-// result: the root package, the analysis pipeline under internal/, and the
-// cmd/ tools that print tables and figures. Everything else (test files,
-// the lint suite itself, examples) may use ambient nondeterminism freely.
-const defaultScope = `^pubtac(/internal/(cache|proc|mbpta|evt|stats|tac|core|pub|experiment|rng|trace|program|malardalen)|/cmd/[^/]+)?$`
+// result: the root package, the analysis pipeline under internal/, the
+// resilience layer (client fabric, serve daemon, fault injector — their
+// retry/hedge/injection schedules must replay from seeds, not wall time),
+// and the cmd/ tools that print tables and figures. Everything else (test
+// files, the lint suite itself, examples) may use ambient nondeterminism
+// freely.
+const defaultScope = `^pubtac(/client|/internal/(cache|proc|mbpta|evt|stats|tac|core|pub|experiment|rng|trace|program|malardalen|serve|fault)|/cmd/[^/]+)?$`
 
 // Detrand forbids ambient nondeterminism in result-affecting packages:
 // math/rand and crypto/rand imports, time.Now/time.Since calls, and range
 // over maps. Escape with "//pubtac:nondeterministic <reason>".
 var Detrand = &analysis.Analyzer{
 	Name: "detrand",
-	Doc: "forbid ambient randomness, wall-clock reads and map iteration in result-affecting packages\n\n" +
+	Doc: "forbid ambient randomness, wall-clock reads and sleeps, and map iteration in result-affecting packages\n\n" +
 		"All randomness must derive from the seed-threaded internal/rng generators and all\n" +
 		"iteration whose order can reach a result must be defined; escape deliberate uses\n" +
 		"with //pubtac:nondeterministic <reason>.",
@@ -46,12 +49,15 @@ var bannedImports = map[string]string{
 	"crypto/rand":  "seed-derived internal/rng",
 }
 
-// bannedCalls are wall-clock reads. Benchmark timing belongs in _test.go
-// files (which are exempt) or behind an escape directive.
-var bannedCalls = map[string]bool{
-	"time.Now":   true,
-	"time.Since": true,
-	"time.Until": true,
+// bannedCalls are wall-clock reads and sleeps, each mapped to the advice
+// the finding carries. Benchmark timing belongs in _test.go files (which
+// are exempt) or behind an escape directive; backoff and hedge pacing
+// belong behind an injected Clock so tests replay them instantly.
+var bannedCalls = map[string]string{
+	"time.Now":   "results must not depend on the wall clock",
+	"time.Since": "results must not depend on the wall clock",
+	"time.Until": "results must not depend on the wall clock",
+	"time.Sleep": "uncancellable wall-clock sleep; pace through an injected Clock (fault.Real in production, fault.Fake in tests)",
 }
 
 func runDetrand(pass *analysis.Pass) (interface{}, error) {
@@ -88,11 +94,15 @@ func runDetrand(pass *analysis.Pass) (interface{}, error) {
 		switch n := n.(type) {
 		case *ast.CallExpr:
 			fn, ok := typeutil.Callee(pass.TypesInfo, n).(*types.Func)
-			if !ok || !bannedCalls[fn.FullName()] {
+			if !ok {
+				return
+			}
+			msg, banned := bannedCalls[fn.FullName()]
+			if !banned {
 				return
 			}
 			if !esc.covers("nondeterministic", n) {
-				pass.Reportf(n.Pos(), "%s in result-affecting package: results must not depend on the wall clock", fn.FullName())
+				pass.Reportf(n.Pos(), "%s in result-affecting package: %s", fn.FullName(), msg)
 			}
 		case *ast.RangeStmt:
 			tv := pass.TypesInfo.TypeOf(n.X)

@@ -20,6 +20,16 @@ func TestDetrand(t *testing.T) {
 	linttest.Run(t, "testdata", lint.Detrand, "detrand/outside")
 }
 
+// TestDetrandBackoff pins the time.Sleep ban on the shape that motivated
+// it: wall-clock retry pacing is flagged, the injected-clock twin of the
+// same policy is silent.
+func TestDetrandBackoff(t *testing.T) {
+	if err := lint.Detrand.Flags.Set("scope", "^detrand/backoff$"); err != nil {
+		t.Fatal(err)
+	}
+	linttest.Run(t, "testdata", lint.Detrand, "detrand/backoff")
+}
+
 func TestPoolonly(t *testing.T) {
 	if err := lint.Poolonly.Flags.Set("pool", "poolonly/pool"); err != nil {
 		t.Fatal(err)

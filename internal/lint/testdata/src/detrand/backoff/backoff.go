@@ -1,0 +1,51 @@
+// Package backoff exercises detrand's time.Sleep ban: wall-clock retry
+// pacing is flagged, while the same policy expressed against an injected
+// clock (the fabric idiom) stays silent.
+package backoff
+
+import (
+	"context"
+	"time"
+)
+
+// wallClockBackoff is the shape the ban exists for: the retry schedule
+// runs on ambient time, ignores cancellation, and makes every chaos test
+// wait out real delays.
+func wallClockBackoff(try func() error) error {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			d := 50 * time.Millisecond << attempt
+			deadline := time.Now().Add(d) // want `time.Now in result-affecting package`
+			time.Sleep(d)                 // want `time.Sleep in result-affecting package`
+			_ = deadline
+		}
+		if err = try(); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// Clock is the injected seam: production hands in the wall clock, tests a
+// fake that advances instantly and records the schedule.
+type Clock interface {
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// injectedBackoff is the approved shape — identical policy, but paced by
+// the injected clock and cancellable, so it draws no findings.
+func injectedBackoff(ctx context.Context, clk Clock, try func() error) error {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			if err := clk.Sleep(ctx, 50*time.Millisecond<<attempt); err != nil {
+				return err
+			}
+		}
+		if err = try(); err == nil {
+			return nil
+		}
+	}
+	return err
+}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"pubtac"
 	"pubtac/client"
@@ -43,6 +44,19 @@ type Options struct {
 	// Shards is the shard count per campaign range when Peers is set
 	// (0 = one shard per peer).
 	Shards int
+	// PeerRetry bounds dispatch attempts per shard before local fallback
+	// (0 = the peer fabric's default, 3).
+	PeerRetry int
+	// HedgeDelay arms hedged shard dispatch: after this long without an
+	// answer the shard races on a second peer (0 = off).
+	HedgeDelay time.Duration
+	// PeerTransport, when non-nil, replaces the outbound peer transport —
+	// the chaos-testing hook the fault injector's RoundTripper plugs into.
+	PeerTransport http.RoundTripper
+	// ShardDeadline bounds one POST /v1/shards computation; shards that
+	// exceed it fail with 503 and the coordinator retries elsewhere or
+	// recomputes locally (0 = no deadline).
+	ShardDeadline time.Duration
 }
 
 // Server is the pubtacd HTTP handler: job submission over the Session API
@@ -62,9 +76,14 @@ type Server struct {
 	// campaigns per (program, input, original) so repeated shard rounds of
 	// one campaign pay trace compilation once. The key space is the
 	// benchmark registry — small and fixed — so the cache is unbounded.
-	shardSem   chan struct{}
-	shardMu    sync.Mutex
-	shardCamps map[string]*mbpta.Campaign
+	shardSem      chan struct{}
+	shardDeadline time.Duration
+	shardMu       sync.Mutex
+	shardCamps    map[string]*mbpta.Campaign
+
+	// peers is the coordinator's resilient fabric (nil on plain daemons
+	// and workers); held for statusz visibility into retries and hedges.
+	peers *client.Peers
 
 	grp    *pool.Group
 	gctx   context.Context
@@ -84,6 +103,7 @@ type Server struct {
 	computed  uint64 // analyses actually run
 	deduped   uint64 // submissions that joined an in-flight identical job
 	shards    uint64 // campaign shards served via POST /v1/shards
+	sheds     uint64 // shard requests shed with 429 at full capacity
 }
 
 // job is one in-flight or completed analysis.
@@ -106,8 +126,12 @@ type ServerStats struct {
 	Computed          uint64     `json:"computed"`
 	Deduped           uint64     `json:"deduped"`
 	Shards            uint64     `json:"shards"`
+	Sheds             uint64     `json:"sheds"`
 	Jobs              int        `json:"jobs"`
 	Store             StoreStats `json:"store"`
+	// Fabric reports the coordinator's peer fabric — retries, hedges,
+	// hedge wins, breaker states — and is absent on non-coordinators.
+	Fabric *client.FabricStats `json:"fabric,omitempty"`
 }
 
 // New builds a Server. The session options are resolved once to derive the
@@ -127,8 +151,16 @@ func New(opts Options) (*Server, error) {
 	// fingerprint (sharded results are bit-identical to local ones), so a
 	// coordinator, its workers and a plain daemon all share cache keys.
 	baseOpts := append([]pubtac.Option(nil), opts.SessionOptions...)
+	var peers *client.Peers
 	if len(opts.Peers) > 0 {
-		baseOpts = append(baseOpts, pubtac.WithPeers(client.NewPeers(opts.Peers...)))
+		peers = client.NewFabric(client.PeersConfig{
+			Policy: client.RetryPolicy{
+				MaxAttempts: opts.PeerRetry,
+				HedgeDelay:  opts.HedgeDelay,
+			},
+			Transport: opts.PeerTransport,
+		}, opts.Peers...)
+		baseOpts = append(baseOpts, pubtac.WithPeers(peers))
 		if opts.Shards > 0 {
 			baseOpts = append(baseOpts, pubtac.WithShards(opts.Shards))
 		}
@@ -136,21 +168,23 @@ func New(opts Options) (*Server, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	grp, gctx := pool.WithContext(ctx)
 	s := &Server{
-		mux:        http.NewServeMux(),
-		store:      opts.Store,
-		baseOpts:   baseOpts,
-		cfg:        probe.Config(),
-		cfgFP:      probe.ConfigFingerprint(),
-		seedSalt:   probe.Config().SeedSalt,
-		grp:        grp,
-		gctx:       gctx,
-		cancel:     cancel,
-		sem:        make(chan struct{}, maxJobs),
-		shardSem:   make(chan struct{}, maxJobs),
-		shardCamps: make(map[string]*mbpta.Campaign),
-		closed:     make(chan struct{}),
-		jobs:       make(map[string]*job),
-		byKey:      make(map[pubtac.Fingerprint]*job),
+		mux:           http.NewServeMux(),
+		store:         opts.Store,
+		baseOpts:      baseOpts,
+		cfg:           probe.Config(),
+		cfgFP:         probe.ConfigFingerprint(),
+		seedSalt:      probe.Config().SeedSalt,
+		grp:           grp,
+		gctx:          gctx,
+		cancel:        cancel,
+		sem:           make(chan struct{}, maxJobs),
+		shardSem:      make(chan struct{}, maxJobs),
+		shardDeadline: opts.ShardDeadline,
+		peers:         peers,
+		shardCamps:    make(map[string]*mbpta.Campaign),
+		closed:        make(chan struct{}),
+		jobs:          make(map[string]*job),
+		byKey:         make(map[pubtac.Fingerprint]*job),
 	}
 	s.maxHistory = opts.MaxJobHistory
 	if s.maxHistory <= 0 {
@@ -182,10 +216,15 @@ func (s *Server) Stats() ServerStats {
 		Computed:          s.computed,
 		Deduped:           s.deduped,
 		Shards:            s.shards,
+		Sheds:             s.sheds,
 		Jobs:              len(s.jobs),
 	}
 	s.mu.Unlock()
 	st.Store = s.store.Stats()
+	if s.peers != nil {
+		fs := s.peers.Stats()
+		st.Fabric = &fs
+	}
 	return st
 }
 
@@ -551,16 +590,32 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Load shedding: a saturated worker answers immediately with 429 +
+	// Retry-After instead of queuing requests it cannot serve soon. The
+	// coordinator's fabric backs off and retries (elsewhere, if it can);
+	// anything never served falls back to local recomputation — so a shed
+	// degrades latency, never results.
 	select {
 	case s.shardSem <- struct{}{}:
 		defer func() { <-s.shardSem }()
-	case <-r.Context().Done():
-		return
 	case <-s.closed:
 		httpError(w, http.StatusServiceUnavailable, "server shutting down")
 		return
+	default:
+		s.mu.Lock()
+		s.sheds++
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "shard capacity saturated, retry later")
+		return
 	}
 	ctx, cancel := context.WithCancel(r.Context())
+	if s.shardDeadline > 0 {
+		// Per-shard deadline: a shard that cannot finish in time fails
+		// with 503 below, freeing the slot; the coordinator recomputes
+		// the range bit-identically.
+		ctx, cancel = context.WithTimeout(r.Context(), s.shardDeadline)
+	}
 	defer cancel()
 	stop := context.AfterFunc(s.gctx, cancel)
 	defer stop()

@@ -24,6 +24,7 @@ import (
 	"container/list"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -51,6 +52,11 @@ type StoreStats struct {
 	// byte quota (SetDiskQuota); evicted keys are recomputed on next touch,
 	// exactly like corrupt entries.
 	DiskEvictions uint64 `json:"disk_evictions"`
+	// WriteErrors counts failed disk-tier writes (ENOSPC, short writes,
+	// ...). A failed Put degrades the entry to memory-only — it serves
+	// until evicted or restart, then recomputes — and never corrupts the
+	// disk tier, which only ever gains entries by atomic rename.
+	WriteErrors uint64 `json:"write_errors"`
 }
 
 // Store is the two-tier content-addressed result store. All methods are safe
@@ -72,6 +78,11 @@ type Store struct {
 	quota     int64
 	diskBytes int64
 	diskOrder []diskEnt
+
+	// writeHook, when set, wraps the temp-file writer of every disk write
+	// (SetWriteHook); the fault injector simulates full volumes and
+	// short-writing filesystems through it.
+	writeHook func(io.Writer) io.Writer
 }
 
 // diskEnt is one disk-tier entry in the eviction queue.
@@ -245,19 +256,38 @@ func (s *Store) Get(key pubtac.Fingerprint) (body []byte, tier string, ok bool) 
 // complete old entry or no entry, never a torn one. Put validates the body
 // the same way Get does, refusing to persist bytes the load path would
 // reject.
+//
+// A failed disk write (full volume, short write) degrades gracefully: the
+// error is counted and returned, but the entry still lands in the memory
+// tier — it keeps serving until eviction or restart, at which point the key
+// is a plain miss and recomputes. The disk tier is never corrupted: entries
+// only appear there via rename of a fully-written, fsync'd temp file.
 func (s *Store) Put(key pubtac.Fingerprint, body []byte) error {
 	if err := checkBody(body); err != nil {
 		return fmt.Errorf("serve: refusing to store %s: %w", key, err)
 	}
-	if err := s.writeAtomic(key, body); err != nil {
-		return err
-	}
+	werr := s.writeAtomic(key, body)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.insertLocked(key, body)
+	if werr != nil {
+		s.stats.WriteErrors++
+		return werr
+	}
 	s.noteWriteLocked(key, int64(len(body)))
 	s.stats.Writes++
 	return nil
+}
+
+// SetWriteHook installs (or, with nil, clears) a wrapper around the
+// temp-file writer of every subsequent disk write. It exists for fault
+// injection — internal/fault's Writer simulates ENOSPC and short-writing
+// filesystems — so the degradation path above is testable without a real
+// full volume.
+func (s *Store) SetWriteHook(hook func(io.Writer) io.Writer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.writeHook = hook
 }
 
 // Len returns the number of entries currently held in the memory tier.
@@ -319,7 +349,20 @@ func (s *Store) writeAtomic(key pubtac.Fingerprint, body []byte) error {
 		return fmt.Errorf("serve: store write: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(body); err != nil {
+	var w io.Writer = tmp
+	s.mu.Lock()
+	if s.writeHook != nil {
+		w = s.writeHook(tmp)
+	}
+	s.mu.Unlock()
+	// Write errors AND short writes abort the entry before rename: a
+	// filesystem that reports n < len(body) with a nil error (they exist)
+	// must not get its truncated bytes promoted to a real entry.
+	n, err := w.Write(body)
+	if err == nil && n < len(body) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
 		tmp.Close()
 		return fmt.Errorf("serve: store write: %w", err)
 	}

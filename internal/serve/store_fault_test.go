@@ -1,0 +1,133 @@
+package serve_test
+
+import (
+	"errors"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"pubtac/internal/fault"
+	"pubtac/internal/serve"
+)
+
+// storeHook adapts the fault injector to the store's write hook: every disk
+// write is a new occurrence of one "store" identity, so a Spec with a 1000
+// per-mille rate faults every write.
+func storeHook(inj *fault.Injector) func(io.Writer) io.Writer {
+	id := fault.Identify([]byte("store"))
+	return func(w io.Writer) io.Writer { return inj.Writer(id, w) }
+}
+
+// A full volume (injected ENOSPC, both immediate and mid-entry) fails Put
+// with a counted error but never corrupts the disk tier: existing entries
+// survive bit for bit, no temp litter remains, and the unpersisted entry
+// still serves from memory until restart degrades it to a plain miss.
+func TestStorePutDegradesOnWriteFailure(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		spec fault.Spec
+	}{
+		{"enospc-immediate", fault.Spec{Drop: 1000}},
+		{"enospc-mid-entry", fault.Spec{Fail: 1000}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			st, err := serve.NewStore(dir, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oldBody := validBody("survivor")
+			if err := st.Put(fp(1), oldBody); err != nil {
+				t.Fatal(err)
+			}
+
+			st.SetWriteHook(storeHook(fault.New(tc.spec)))
+			if err := st.Put(fp(2), validBody("lost")); !errors.Is(err, fault.ErrNoSpace) {
+				t.Fatalf("Put under %s: err = %v, want ErrNoSpace", tc.name, err)
+			}
+			// Overwriting an existing key must leave its old disk copy whole.
+			if err := st.Put(fp(1), validBody("survivor-v2")); err == nil {
+				t.Fatal("overwrite Put succeeded under injected write failure")
+			}
+			if got := st.Stats().WriteErrors; got != 2 {
+				t.Errorf("WriteErrors = %d, want 2", got)
+			}
+
+			// The disk tier holds exactly the pre-fault entry, no temp files.
+			if n, err := st.DiskLen(); err != nil || n != 1 {
+				t.Fatalf("disk entries = %d (%v), want 1", n, err)
+			}
+			ents, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range ents {
+				if strings.HasPrefix(e.Name(), ".tmp-") {
+					t.Errorf("temp litter left behind: %s", e.Name())
+				}
+			}
+
+			// Memory tier still serves both keys (the failed writes degraded
+			// to memory-only entries, they didn't poison anything)...
+			if body, tier, ok := st.Get(fp(2)); !ok || tier != serve.TierMem {
+				t.Errorf("unpersisted entry: ok=%v tier=%s body=%s", ok, tier, body)
+			}
+
+			// ...but a restart sees only the intact old entry; the failed one
+			// is a plain counted miss.
+			st2, err := serve.NewStore(dir, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if body, _, ok := st2.Get(fp(1)); !ok || string(body) != string(oldBody) {
+				t.Errorf("after restart, surviving entry: ok=%v body=%s", ok, body)
+			}
+			if _, _, ok := st2.Get(fp(2)); ok {
+				t.Error("after restart, unpersisted entry still hit")
+			}
+			if misses := st2.Stats().Misses; misses != 1 {
+				t.Errorf("Misses = %d, want 1", misses)
+			}
+
+			// Clearing the hook restores full service.
+			st.SetWriteHook(nil)
+			if err := st.Put(fp(2), validBody("recovered")); err != nil {
+				t.Fatal(err)
+			}
+			if n, _ := st.DiskLen(); n != 2 {
+				t.Errorf("disk entries after recovery = %d, want 2", n)
+			}
+		})
+	}
+}
+
+// A short-writing filesystem — n < len(body) with a NIL error — must be
+// detected and treated exactly like a failed write, not promoted to a
+// truncated disk entry.
+func TestStorePutDetectsShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	st, err := serve.NewStore(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetWriteHook(storeHook(fault.New(fault.Spec{Truncate: 1000})))
+	if err := st.Put(fp(7), validBody("torn")); !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("Put = %v, want ErrShortWrite", err)
+	}
+	if st.Stats().WriteErrors != 1 {
+		t.Errorf("WriteErrors = %d, want 1", st.Stats().WriteErrors)
+	}
+	if n, err := st.DiskLen(); err != nil || n != 0 {
+		t.Fatalf("disk entries = %d (%v), want 0 — a torn entry must never land", n, err)
+	}
+	// Nothing truncated could be read back after restart either way, but
+	// the guarantee is stronger: the file never exists at its final name.
+	st2, err := serve.NewStore(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := st2.Get(fp(7)); ok {
+		t.Error("torn entry visible after restart")
+	}
+}

@@ -16,7 +16,14 @@ import (
 // field list of every encoded struct so an added field cannot slip through
 // silently, mirroring core.EncodingVersion's discipline for config
 // encodings.
-const SummaryWireVersion = 1
+//
+// Version 2 appended a trailing 64-bit FNV-1a checksum over the whole frame:
+// a corrupted byte anywhere — magic, header or payload — now fails decoding
+// instead of silently flipping a float in the shard sample, which would break
+// the coordinator/worker bit-identity invariant undetectably. Truncation and
+// length forgery were already caught structurally; the checksum closes the
+// in-place-corruption hole.
+const SummaryWireVersion = 2
 
 // wireMagic brands every encoded summary; a result-store JSON body or a
 // truncated frame fails fast instead of decoding into garbage.
@@ -64,7 +71,24 @@ func EncodeSummary(s SampleSummary) ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("stats: cannot encode summary type %T", s)
 	}
+	w.u64(wireSum(w.buf))
 	return w.buf, nil
+}
+
+// wireSum is the frame checksum: 64-bit FNV-1a over every preceding byte.
+// It is an integrity check against accidental corruption in transit, not an
+// authenticity measure — transport security is the deployment's job.
+func wireSum(b []byte) uint64 {
+	const (
+		offset64 = 0xcbf29ce484222325
+		prime64  = 0x100000001b3
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
 }
 
 // DecodeSummary reverses EncodeSummary. The decoded summary is fully usable:
@@ -79,6 +103,18 @@ func DecodeSummary(b []byte) (SampleSummary, error) {
 	}
 	if v := r.int(); r.err == nil && v != SummaryWireVersion {
 		return nil, fmt.Errorf("stats: summary wire version %d, this build speaks %d", v, SummaryWireVersion)
+	}
+	// Verify the trailing checksum before trusting a single payload byte,
+	// then hide it from the reader so the trailing-bytes check still holds.
+	if r.err == nil {
+		if len(b) < r.off+8 {
+			return nil, fmt.Errorf("stats: decoding summary: frame too short for checksum")
+		}
+		body, tail := b[:len(b)-8], b[len(b)-8:]
+		if got, want := binary.LittleEndian.Uint64(tail), wireSum(body); got != want {
+			return nil, fmt.Errorf("stats: summary frame checksum mismatch (corrupt wire bytes)")
+		}
+		r.buf = body
 	}
 	kind := r.byte()
 	var sum SampleSummary

@@ -152,6 +152,33 @@ func TestSummaryWireRejectsForeign(t *testing.T) {
 	}
 }
 
+// Every single-byte in-place corruption must be rejected, wherever it lands:
+// magic and header fail structurally, and a flipped payload byte — which
+// before the v2 checksum decoded silently into a wrong float, breaking
+// coordinator/worker bit-identity undetectably — fails the frame checksum.
+// This is the property the fault injector's Corrupt action leans on: a
+// corrupted shard reply becomes a retryable decode error, never a wrong
+// result.
+func TestSummaryWireDetectsCorruption(t *testing.T) {
+	for name, mk := range wireArms() {
+		t.Run(name, func(t *testing.T) {
+			sum := mk()
+			sum.Push(gridSample(3, 400))
+			enc, err := EncodeSummary(sum)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			for i := range enc {
+				mut := bytes.Clone(enc)
+				mut[i] ^= 0x20
+				if _, err := DecodeSummary(mut); err == nil {
+					t.Fatalf("flipping byte %d of %d went undetected", i, len(enc))
+				}
+			}
+		})
+	}
+}
+
 // The wire encoding serializes unexported state field by field, so any field
 // added to these structs silently vanishes from the wire unless this list —
 // and SummaryWireVersion — is updated. Same discipline as
